@@ -1,0 +1,249 @@
+// Package repro's top-level benchmark harness: one benchmark per table
+// and figure of the paper (regenerating it at reduced scale — run
+// cmd/experiments for full-scale output), plus ablation benchmarks for
+// the design choices called out in DESIGN.md.
+//
+// Accuracy-oriented benchmarks attach prediction-error metrics via
+// b.ReportMetric (relerr = |predicted − measured| / measured), so
+// `go test -bench=.` doubles as a compact accuracy dashboard.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/combinatorics"
+	"repro/internal/cost"
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Quick: true, MaxSize: 2 << 20, Seed: 42}
+}
+
+// benchExperiment runs one experiment generator per iteration.
+func benchExperiment(b *testing.B, id string) {
+	gen, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := gen(cfg)
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5a(b *testing.B)  { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)  { benchExperiment(b, "fig5b") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)  { benchExperiment(b, "fig6c") }
+func BenchmarkFig6d(b *testing.B)  { benchExperiment(b, "fig6d") }
+
+func BenchmarkFig7Quicksort(b *testing.B)    { benchExperiment(b, "fig7a") }
+func BenchmarkFig7MergeJoin(b *testing.B)    { benchExperiment(b, "fig7b") }
+func BenchmarkFig7HashJoin(b *testing.B)     { benchExperiment(b, "fig7c") }
+func BenchmarkFig7Partition(b *testing.B)    { benchExperiment(b, "fig7d") }
+func BenchmarkFig7PartHashJoin(b *testing.B) { benchExperiment(b, "fig7e") }
+
+// BenchmarkCalibrator regenerates Table 3: a full simulated calibration
+// run (capacity, line-size and latency sweeps) against the small test
+// hierarchy.
+func BenchmarkCalibrator(b *testing.B) {
+	benchExperiment(b, "table3")
+}
+
+// BenchmarkModelEvaluation measures the cost of evaluating the model
+// itself — the quantity a query optimizer pays per plan candidate.
+func BenchmarkModelEvaluation(b *testing.B) {
+	model := cost.MustNew(hardware.Origin2000())
+	n := int64(1 << 20)
+	u := region.New("U", n, 16)
+	v := region.New("V", n, 16)
+	w := region.New("W", n, 16)
+	h := engine.HashRegionFor("H", n)
+	p := engine.HashJoinPattern(u, v, h, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Evaluate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelEvaluationPartitioned evaluates the heaviest practical
+// pattern: a 256-cluster partitioned hash join (513 sub-patterns).
+func BenchmarkModelEvaluationPartitioned(b *testing.B) {
+	model := cost.MustNew(hardware.Origin2000())
+	n := int64(1 << 20)
+	u := region.New("U", n, 16)
+	v := region.New("V", n, 16)
+	w := region.New("W", n, 16)
+	p := engine.PartitionedHashJoinPattern(u, v, w, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Evaluate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures simulated accesses per second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	h := hardware.Origin2000()
+	mem := vmem.New(16 << 20)
+	sim := cachesim.New(h)
+	mem.SetObserver(sim)
+	base := mem.Alloc(8<<20, 32)
+	b.SetBytes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.Touch(base+vmem.Addr((int64(i)*8)%(8<<20)), 8)
+	}
+}
+
+// BenchmarkDistinctExactVsClosed is the DESIGN.md ablation comparing the
+// paper's exact Stirling-number expectation against the closed form the
+// production model uses.
+func BenchmarkDistinctExactVsClosed(b *testing.B) {
+	b.Run("exact-stirling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			combinatorics.ExpectedDistinctExact(64, 48)
+		}
+	})
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			combinatorics.ExpectedDistinct(64, 48)
+		}
+	})
+}
+
+// measureConcRun executes a concurrent scan+r_acc workload on the
+// simulator and returns the measured L1 misses.
+func measureConcRun(p pattern.Pattern, h *hardware.Hierarchy) float64 {
+	mem := vmem.New(1 << 24)
+	sim := cachesim.New(h)
+	line := h.Levels[0].LineSize
+	for i, r := range p.Regions() {
+		mem.Alloc(int64(i%7+1)*line, 1)
+		driver.Materialize(mem, r, line)
+	}
+	mem.SetObserver(sim)
+	driver.Run(mem, workload.NewRNG(3), p)
+	return float64(sim.Stats(0).Misses())
+}
+
+// BenchmarkAblationCacheDivision compares the full model (Eq. 5.3 cache
+// division among concurrent patterns) against a naive variant that
+// evaluates each concurrent pattern with the whole cache to itself. The
+// reported relerr metrics show the division step earns its keep.
+func BenchmarkAblationCacheDivision(b *testing.B) {
+	h := hardware.SmallTest()
+	model := cost.MustNew(h)
+	// 768 B each: either region fits the 1 kB L1 alone (only the first
+	// sweep misses) but together they thrash it — the case where cache
+	// division matters.
+	a := region.New("A", 96, 8)
+	c := region.New("B", 96, 8)
+	pa := pattern.RSTrav{R: a, Repeats: 4, Dir: pattern.Uni}
+	pb := pattern.RSTrav{R: c, Repeats: 4, Dir: pattern.Uni}
+	conc := pattern.Conc{pa, pb}
+
+	measured := measureConcRun(conc, h)
+	full, _ := model.Evaluate(conc)
+	ra, _ := model.Evaluate(pa)
+	rb, _ := model.Evaluate(pb)
+	naive := ra.PerLevel[0].Misses.Total() + rb.PerLevel[0].Misses.Total()
+	b.ReportMetric(relErr(full.PerLevel[0].Misses.Total(), measured), "relerr-with-division")
+	b.ReportMetric(relErr(naive, measured), "relerr-naive")
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Evaluate(conc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStateCarryover compares the full model (Eq. 5.1/5.2
+// cache-state carry-over across sequential execution) against a naive
+// variant that evaluates every sub-pattern cold, on a repeated scan of a
+// cache-resident region.
+func BenchmarkAblationStateCarryover(b *testing.B) {
+	h := hardware.SmallTest()
+	model := cost.MustNew(h)
+	r := region.New("U", 64, 8) // 512 B: fits every level
+	p := pattern.Seq{pattern.STrav{R: r}, pattern.STrav{R: r}, pattern.STrav{R: r}}
+
+	measured := measureConcRun(p, h)
+	full, _ := model.Evaluate(p)
+	single, _ := model.Evaluate(pattern.STrav{R: r})
+	naive := 3 * single.PerLevel[0].Misses.Total()
+	b.ReportMetric(relErr(full.PerLevel[0].Misses.Total(), measured), "relerr-with-state")
+	b.ReportMetric(relErr(naive, measured), "relerr-naive")
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Evaluate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func relErr(pred, meas float64) float64 {
+	if meas == 0 {
+		return 0
+	}
+	d := pred - meas
+	if d < 0 {
+		d = -d
+	}
+	return d / meas
+}
+
+// BenchmarkEngineQuickSort measures the simulated engine itself (not the
+// model): in-place quick-sort of a 1 MB relation under full observation.
+func BenchmarkEngineQuickSort(b *testing.B) {
+	h := hardware.Origin2000()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mem := vmem.New(4 << 20)
+		sim := cachesim.New(h)
+		t := engine.NewTable(mem, "U", 1<<17, 8, 32)
+		workload.FillUniform(t, workload.NewRNG(uint64(i)+1))
+		mem.SetObserver(sim)
+		b.StartTimer()
+		engine.QuickSort(t)
+	}
+}
+
+// BenchmarkEngineHashJoin measures a simulated 1 MB hash join.
+func BenchmarkEngineHashJoin(b *testing.B) {
+	h := hardware.Origin2000()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mem := vmem.New(16 << 20)
+		sim := cachesim.New(h)
+		u := engine.NewTable(mem, "U", 1<<17, 8, 32)
+		v := engine.NewTable(mem, "V", 1<<17, 8, 32)
+		w := engine.NewTable(mem, "W", 1<<17, 8, 32)
+		rng := workload.NewRNG(uint64(i) + 1)
+		workload.FillPermutation(u, rng)
+		workload.FillPermutation(v, rng)
+		mem.SetObserver(sim)
+		b.StartTimer()
+		engine.HashJoin(mem, u, v, w)
+	}
+}

@@ -1,0 +1,73 @@
+// Command calibrator mirrors the paper's Calibrator tool: it discovers
+// the cache hierarchy's characteristic parameters (capacity, line size,
+// sequential and random miss latency per level) from stride/footprint
+// micro-benchmarks.
+//
+// Usage:
+//
+//	calibrator                       # calibrate a simulated Origin2000
+//	calibrator -profile modern-x86   # another simulated profile
+//	calibrator -host -max 67108864   # best-effort host calibration
+//
+// Host mode is wall-clock based and noisy under a garbage-collected
+// runtime; the simulated mode is exact and demonstrates the method.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/calibrate"
+	"repro/internal/hardware"
+)
+
+func main() {
+	var (
+		host    = flag.Bool("host", false, "calibrate the host machine (noisy) instead of a simulated profile")
+		maxSize = flag.Int64("max", 0, "largest sweep footprint in bytes (default: 4x outermost capacity, or 64 MB for host)")
+		profile = flag.String("profile", "origin2000", "simulated hardware profile: "+profileNames())
+	)
+	flag.Parse()
+
+	if *host {
+		max := *maxSize
+		if max == 0 {
+			max = 64 << 20
+		}
+		fmt.Println("calibrating host memory (best effort; expect runtime noise)...")
+		res := calibrate.Host(max, 4)
+		fmt.Print(res)
+		return
+	}
+
+	mk, ok := hardware.Profiles()[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q (have: %s)\n", *profile, profileNames())
+		os.Exit(2)
+	}
+	h := mk()
+	max := *maxSize
+	if max == 0 {
+		for _, l := range h.Levels {
+			if 4*l.Capacity > max {
+				max = 4 * l.Capacity
+			}
+		}
+	}
+	fmt.Printf("calibrating simulated %s (footprints up to %s)...\n",
+		h.Name, hardware.FormatBytes(max))
+	res := calibrate.Simulated(h, max)
+	fmt.Print(res)
+	fmt.Println("\nground truth:")
+	fmt.Print(h)
+}
+
+func profileNames() string {
+	var names []string
+	for n := range hardware.Profiles() {
+		names = append(names, n)
+	}
+	return strings.Join(names, ", ")
+}

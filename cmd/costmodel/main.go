@@ -1,0 +1,108 @@
+// Command costmodel evaluates a data access pattern on a hardware
+// profile and prints the predicted cache misses per level and the memory
+// access time (Eq. 3.1 of the paper).
+//
+// Regions are declared as name:items:width triples; the pattern uses the
+// paper's Table 2 language with (+) for ⊕ and (.) for ⊙:
+//
+//	costmodel -region U:1000000:8 -region H:2097152:16 -region W:1000000:8 \
+//	    -pattern 's_trav(U) (.) r_acc(1000000, H) (.) s_trav(W)'
+//
+//	costmodel -region U:4194304:8 \
+//	    -pattern 'rs_trav(10, bi, U)' -profile modern-x86 -cpu 1e6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+)
+
+type regionFlags struct {
+	regions map[string]*region.Region
+}
+
+func (f *regionFlags) String() string { return "" }
+
+func (f *regionFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("region %q: want name:items:width", v)
+	}
+	n, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("region %q: bad item count", v)
+	}
+	w, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("region %q: bad width", v)
+	}
+	f.regions[parts[0]] = region.New(parts[0], n, w)
+	return nil
+}
+
+func main() {
+	regions := &regionFlags{regions: map[string]*region.Region{}}
+	var (
+		patternStr = flag.String("pattern", "", "pattern expression (Table 2 language)")
+		profile    = flag.String("profile", "origin2000", "hardware profile: "+profileNames())
+		cpuNS      = flag.Float64("cpu", 0, "pure CPU time T_cpu in ns (Eq. 6.1)")
+	)
+	flag.Var(regions, "region", "region declaration name:items:width (repeatable)")
+	flag.Parse()
+
+	if *patternStr == "" {
+		fmt.Fprintln(os.Stderr, "missing -pattern; see -h")
+		os.Exit(2)
+	}
+	mk, ok := hardware.Profiles()[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q (have: %s)\n", *profile, profileNames())
+		os.Exit(2)
+	}
+	h := mk()
+
+	p, err := pattern.Parse(*patternStr, regions.regions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	model, err := cost.New(h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := model.Evaluate(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("profile: %s\npattern: %s\n\n", h.Name, p)
+	fmt.Printf("%-6s %14s %14s %14s %14s\n", "level", "seq-misses", "rnd-misses", "total", "time[ms]")
+	for _, lr := range res.PerLevel {
+		fmt.Printf("%-6s %14.0f %14.0f %14.0f %14.3f\n",
+			lr.Level.Name, lr.Misses.Seq, lr.Misses.Rnd, lr.Misses.Total(),
+			lr.MemoryTimeNS()/1e6)
+	}
+	fmt.Printf("\nT_mem  = %.3f ms\n", res.MemoryTimeNS()/1e6)
+	if *cpuNS > 0 {
+		fmt.Printf("T_cpu  = %.3f ms\n", *cpuNS/1e6)
+		fmt.Printf("T      = %.3f ms (Eq. 6.1)\n", (res.MemoryTimeNS()+*cpuNS)/1e6)
+	}
+}
+
+func profileNames() string {
+	var names []string
+	for n := range hardware.Profiles() {
+		names = append(names, n)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all                  # every experiment, text output
+//	experiments -exp fig7c                # one experiment
+//	experiments -exp fig7d -csv           # CSV output
+//	experiments -exp fig7a -max 33554432  # sweep relations up to 32 MB
+//	experiments -list                     # list experiment IDs
+//	experiments -profile modern-x86       # different hardware profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/hardware"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment ID or 'all'")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		maxSize = flag.Int64("max", 16<<20, "largest relation size in bytes")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		quick   = flag.Bool("quick", false, "reduced point sets")
+		profile = flag.String("profile", "origin2000", "hardware profile: "+profileNames())
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	mk, ok := hardware.Profiles()[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q (have: %s)\n", *profile, profileNames())
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		Hier:    mk(),
+		MaxSize: *maxSize,
+		Seed:    *seed,
+		Quick:   *quick,
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experimentsInOrder()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for i, id := range ids {
+		gen, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		rep := gen(cfg)
+		if *csv {
+			rep.CSV(os.Stdout)
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			rep.Render(os.Stdout)
+		}
+	}
+}
+
+func experimentsInOrder() []string {
+	var ids []string
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+func profileNames() string {
+	var names []string
+	for n := range hardware.Profiles() {
+		names = append(names, n)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,98 @@
+// Partitioning: tune the fan-out m of a radix/hash partition step with
+// the cost model, then verify the chosen point against the cache
+// simulator. This is the workload behind the paper's Figure 7d: too few
+// partitions leave clusters bigger than the cache (the follow-up join
+// thrashes); too many partitions overwhelm the TLB and the cache's line
+// budget during partitioning itself. The model exposes the sweet spot
+// without running anything.
+//
+// Run with: go run ./examples/partitioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cachesim"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/region"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+func main() {
+	h := hardware.Origin2000()
+	model, err := cost.New(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 1 << 20 // 8 MB input, 8-byte tuples
+	const w = 8
+	u := region.New("U", n, w)
+
+	fmt.Println("Partition an 8 MB relation into m clusters, then hash-join the")
+	fmt.Println("clusters: predicted memory time of both phases vs m (Origin2000).")
+	fmt.Println()
+	fmt.Printf("%-8s %16s %16s %16s\n", "m", "partition[ms]", "join[ms]", "total[ms]")
+
+	bestM, bestT := int64(0), 0.0
+	for m := int64(1); m <= 16384; m *= 4 {
+		var partNS float64
+		if m > 1 {
+			x := region.New("X", n, w)
+			res, err := model.Evaluate(engine.PartitionPattern(u, x, m))
+			if err != nil {
+				log.Fatal(err)
+			}
+			partNS = 2 * res.MemoryTimeNS() // both inputs get partitioned
+		}
+		// Join phase: per-cluster hash joins (m=1 is the plain join).
+		v := region.New("V", n, w)
+		out := region.New("W", n, w)
+		var joinNS float64
+		if m == 1 {
+			res, err := model.Evaluate(engine.HashJoinPattern(u, v, engine.HashRegionFor("H", n), out))
+			if err != nil {
+				log.Fatal(err)
+			}
+			joinNS = res.MemoryTimeNS()
+		} else {
+			res, err := model.Evaluate(engine.PartitionedHashJoinPattern(u, v, out, m))
+			if err != nil {
+				log.Fatal(err)
+			}
+			joinNS = res.MemoryTimeNS() - partNS // pattern includes partitioning
+			if joinNS < 0 {
+				joinNS = 0
+			}
+		}
+		total := partNS + joinNS
+		if bestM == 0 || total < bestT {
+			bestM, bestT = m, total
+		}
+		fmt.Printf("%-8d %16.1f %16.1f %16.1f\n", m, partNS/1e6, joinNS/1e6, total/1e6)
+	}
+	fmt.Printf("\nmodel's choice: m = %d (predicted %.1f ms)\n\n", bestM, bestT/1e6)
+
+	// Verify the chosen fan-out on the simulator.
+	fmt.Printf("running m = %d on the cache simulator...\n", bestM)
+	mem := vmem.New(1 << 28)
+	sim := cachesim.New(h)
+	mem.SetObserver(sim)
+	sim.Freeze()
+	ut := engine.NewTable(mem, "U", n, w, 32)
+	vt := engine.NewTable(mem, "V", n, w, 32)
+	wt := engine.NewTable(mem, "W", n, w, 32)
+	rng := workload.NewRNG(7)
+	workload.FillPermutation(ut, rng)
+	workload.FillPermutation(vt, rng)
+	sim.Thaw()
+	matches := engine.PartitionedHashJoin(mem, ut, vt, wt, bestM, engine.HashPartition)
+	sim.Freeze()
+	fmt.Printf("joined %d tuples; measured memory time %.1f ms (predicted %.1f ms)\n",
+		matches, sim.MemoryTimeNS()/1e6, bestT/1e6)
+	fmt.Print(sim)
+}

@@ -1,0 +1,289 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/vmem"
+)
+
+// tinyHierarchy: one 256-byte, 32-byte-line, 2-way data cache (8 lines)
+// plus a 2-entry TLB with 128-byte pages — small enough to reason about
+// every miss by hand.
+func tinyHierarchy() *hardware.Hierarchy {
+	return &hardware.Hierarchy{
+		Name:    "tiny",
+		ClockNS: 1,
+		Levels: []hardware.Level{
+			{Name: "L1", Capacity: 256, LineSize: 32, Associativity: 2,
+				SeqMissLatency: 10, RndMissLatency: 30},
+			{Name: "TLB", Capacity: 256, LineSize: 128, Associativity: 0,
+				SeqMissLatency: 50, RndMissLatency: 50, TLB: true},
+		},
+	}
+}
+
+func feed(s *Simulator, addrs ...int64) {
+	for _, a := range addrs {
+		s.OnAccess(vmem.Access{Addr: vmem.Addr(a), Size: 1})
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s := New(tinyHierarchy())
+	feed(s, 0, 1, 31, 0)
+	st := s.Stats(0)
+	if st.Misses() != 1 {
+		t.Errorf("misses = %d, want 1 (same line)", st.Misses())
+	}
+	if st.Hits != 3 {
+		t.Errorf("hits = %d, want 3", st.Hits)
+	}
+}
+
+func TestSequentialStreamClassification(t *testing.T) {
+	s := New(tinyHierarchy())
+	// Touch 8 consecutive lines: first miss is random (no stream yet),
+	// the following 7 continue the detected stream.
+	for a := int64(0); a < 256; a += 32 {
+		feed(s, a)
+	}
+	st := s.Stats(0)
+	if st.Misses() != 8 {
+		t.Fatalf("misses = %d, want 8", st.Misses())
+	}
+	if st.RndMisses != 1 || st.SeqMisses != 7 {
+		t.Errorf("seq/rnd = %d/%d, want 7/1", st.SeqMisses, st.RndMisses)
+	}
+}
+
+func TestInterleavedStreamsStaySequential(t *testing.T) {
+	s := New(tinyHierarchy())
+	// Two interleaved ascending streams far apart: the detector must
+	// track both. 4 lines each.
+	for i := int64(0); i < 4; i++ {
+		feed(s, i*32)      // stream A
+		feed(s, 4096+i*32) // stream B
+	}
+	st := s.Stats(0)
+	if st.Misses() != 8 {
+		t.Fatalf("misses = %d, want 8", st.Misses())
+	}
+	if st.SeqMisses != 6 {
+		t.Errorf("seq misses = %d, want 6 (both streams after their first)", st.SeqMisses)
+	}
+}
+
+func TestScatteredAccessIsRandom(t *testing.T) {
+	s := New(tinyHierarchy())
+	feed(s, 0, 4096, 1024, 8192, 2048)
+	st := s.Stats(0)
+	if st.SeqMisses != 0 {
+		t.Errorf("scattered accesses classified sequential: %+v", st)
+	}
+	if st.RndMisses != 5 {
+		t.Errorf("rnd misses = %d, want 5", st.RndMisses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(tinyHierarchy())
+	// The L1 has 4 sets (8 lines / 2 ways), set = line mod 4. Lines 0, 4
+	// and 8 (addresses 0, 128, 256) all map to set 0.
+	feed(s, 0, 128) // fill both ways of set 0
+	feed(s, 0)      // touch line 0 so line 4 becomes LRU
+	feed(s, 256)    // evicts line 4 (address 128)
+	s.ResetStats()
+	feed(s, 0) // must still hit
+	if st := s.Stats(0); st.Hits != 1 {
+		t.Errorf("line 0 should have survived: %+v", st)
+	}
+	feed(s, 128) // must miss (was evicted)
+	if st := s.Stats(0); st.Misses() != 1 {
+		t.Errorf("line 4 should have been evicted: %+v", st)
+	}
+}
+
+func TestCapacityBehaviour(t *testing.T) {
+	h := tinyHierarchy()
+	s := New(h)
+	// Sweep 512 bytes = 16 lines through an 8-line cache, twice.
+	sweep := func() {
+		for a := int64(0); a < 512; a += 32 {
+			feed(s, a)
+		}
+	}
+	sweep()
+	first := s.Stats(0).Misses()
+	if first != 16 {
+		t.Fatalf("first sweep misses = %d, want 16", first)
+	}
+	sweep()
+	second := s.Stats(0).Misses() - first
+	if second != 16 {
+		t.Errorf("second sweep misses = %d, want 16 (uni-directional resweep of oversized data)", second)
+	}
+}
+
+func TestSmallDataResweepHits(t *testing.T) {
+	s := New(tinyHierarchy())
+	sweep := func() {
+		for a := int64(0); a < 128; a += 32 { // 4 lines, fits in 8-line cache
+			feed(s, a)
+		}
+	}
+	sweep()
+	sweep()
+	st := s.Stats(0)
+	if st.Misses() != 4 {
+		t.Errorf("misses = %d, want 4 (second sweep fully cached)", st.Misses())
+	}
+}
+
+func TestTLBCountsPages(t *testing.T) {
+	s := New(tinyHierarchy())
+	feed(s, 0, 64, 127) // one 128-byte page
+	tlb, ok := s.StatsByName("TLB")
+	if !ok {
+		t.Fatal("TLB stats missing")
+	}
+	if tlb.Misses() != 1 {
+		t.Errorf("TLB misses = %d, want 1", tlb.Misses())
+	}
+	feed(s, 128, 256) // two more pages; TLB holds 2 entries
+	feed(s, 0)        // page 0 was evicted (LRU among 2 entries)
+	tlb, _ = s.StatsByName("TLB")
+	if tlb.Misses() != 4 {
+		t.Errorf("TLB misses = %d, want 4", tlb.Misses())
+	}
+}
+
+func TestWideAccessSpansLines(t *testing.T) {
+	s := New(tinyHierarchy())
+	s.OnAccess(vmem.Access{Addr: 16, Size: 32}) // bytes 16..47: lines 0 and 1
+	if st := s.Stats(0); st.Misses() != 2 {
+		t.Errorf("misses = %d, want 2 for a line-spanning access", st.Misses())
+	}
+}
+
+func TestMissFilteringToOuterLevel(t *testing.T) {
+	h := &hardware.Hierarchy{
+		Name:    "two-level",
+		ClockNS: 1,
+		Levels: []hardware.Level{
+			{Name: "L1", Capacity: 128, LineSize: 32, Associativity: 2,
+				SeqMissLatency: 1, RndMissLatency: 2},
+			{Name: "L2", Capacity: 1024, LineSize: 64, Associativity: 2,
+				SeqMissLatency: 10, RndMissLatency: 20},
+		},
+	}
+	s := New(h)
+	feed(s, 0) // L1 miss, L2 miss
+	feed(s, 0) // L1 hit: L2 must not be accessed
+	l2 := s.Stats(1)
+	if l2.Accesses != 1 {
+		t.Errorf("L2 accesses = %d, want 1 (filtered by L1 hit)", l2.Accesses)
+	}
+	// Evict line 0 from L1 (4 lines, 2 sets; lines 0,2,4 share set 0).
+	feed(s, 64, 128)
+	feed(s, 0) // L1 miss again, but L2 still holds the containing 64B line
+	l2 = s.Stats(1)
+	if l2.Hits < 1 {
+		t.Errorf("L2 should hit on refetch: %+v", l2)
+	}
+}
+
+func TestFreezeThaw(t *testing.T) {
+	s := New(tinyHierarchy())
+	s.Freeze()
+	feed(s, 0, 32, 64)
+	if st := s.Stats(0); st.Accesses != 0 {
+		t.Errorf("frozen simulator counted %d accesses", st.Accesses)
+	}
+	if !s.Frozen() {
+		t.Error("Frozen() = false while frozen")
+	}
+	s.Thaw()
+	feed(s, 0)
+	if st := s.Stats(0); st.Accesses != 1 {
+		t.Errorf("thawed simulator counted %d accesses, want 1", st.Accesses)
+	}
+}
+
+func TestResetClearsContents(t *testing.T) {
+	s := New(tinyHierarchy())
+	feed(s, 0)
+	if !s.Contains(0, 0) {
+		t.Fatal("line 0 should be resident")
+	}
+	s.Reset()
+	if s.Contains(0, 0) {
+		t.Error("Reset did not clear contents")
+	}
+	if s.ResidentLines(0) != 0 {
+		t.Error("ResidentLines != 0 after Reset")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	s := New(tinyHierarchy())
+	feed(s, 0)
+	s.ResetStats()
+	feed(s, 0)
+	st := s.Stats(0)
+	if st.Misses() != 0 || st.Hits != 1 {
+		t.Errorf("warm restat wrong: %+v", st)
+	}
+}
+
+func TestMemoryTimeNS(t *testing.T) {
+	s := New(tinyHierarchy())
+	feed(s, 0)    // 1 rnd L1 miss (30) + 1 TLB miss (50)
+	feed(s, 4096) // same again
+	got := s.MemoryTimeNS()
+	want := 2*30.0 + 2*50.0
+	if got != want {
+		t.Errorf("MemoryTimeNS() = %g, want %g", got, want)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	s := New(tinyHierarchy())
+	feed(s, 0, 0, 0, 0)
+	if hr := s.Stats(0).HitRate(); hr != 0.75 {
+		t.Errorf("HitRate() = %g, want 0.75", hr)
+	}
+	var zero Stats
+	if zero.HitRate() != 0 {
+		t.Error("zero-stats HitRate should be 0")
+	}
+}
+
+func TestAllStatsAndString(t *testing.T) {
+	s := New(tinyHierarchy())
+	feed(s, 0)
+	all := s.AllStats()
+	if len(all) != 2 {
+		t.Fatalf("AllStats() returned %d entries", len(all))
+	}
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestBadHierarchyPanics(t *testing.T) {
+	bad := &hardware.Hierarchy{
+		Name:    "bad",
+		ClockNS: 1,
+		Levels: []hardware.Level{
+			{Name: "L1", Capacity: 96, LineSize: 48, Associativity: 1,
+				SeqMissLatency: 1, RndMissLatency: 1}, // 48 not a power of two
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two line size")
+		}
+	}()
+	New(bad)
+}

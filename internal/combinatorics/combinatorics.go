@@ -1,0 +1,131 @@
+// Package combinatorics provides the counting machinery behind the
+// paper's r_acc cost function (Section 4.6): with r independent random
+// accesses to a region of n items, how many distinct items D are touched
+// in expectation?
+//
+// The paper derives E[D] through Stirling numbers of the second kind:
+//
+//	P(exactly k distinct) = C(n,k) · S(r,k) · k! / n^r
+//	E[D] = Σ_k k · P(k distinct)
+//
+// That expectation has the well-known closed form n·(1 − (1 − 1/n)^r),
+// which this package also provides; the test suite proves the two agree,
+// and the exact machinery remains available for distribution queries.
+package combinatorics
+
+import "math"
+
+// LnFactorial returns ln(n!) using math.Lgamma.
+func LnFactorial(n int64) float64 {
+	if n < 0 {
+		panic("combinatorics: factorial of negative number")
+	}
+	v, _ := math.Lgamma(float64(n) + 1)
+	return v
+}
+
+// LnBinomial returns ln C(n, k). It returns -Inf when k < 0 or k > n.
+func LnBinomial(n, k int64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LnFactorial(n) - LnFactorial(k) - LnFactorial(n-k)
+}
+
+// Binomial returns C(n, k) as a float64 (may overflow to +Inf for huge
+// arguments, which callers in this package never need).
+func Binomial(n, k int64) float64 {
+	return math.Exp(LnBinomial(n, k))
+}
+
+// Stirling2 returns the Stirling number of the second kind S(n, k): the
+// number of ways to partition a set of n elements into k nonempty
+// subsets. Exact computation via the triangular recurrence
+// S(n,k) = k·S(n-1,k) + S(n-1,k-1); float64, so exactness holds while
+// values stay below 2^53.
+func Stirling2(n, k int64) float64 {
+	switch {
+	case n < 0 || k < 0:
+		panic("combinatorics: negative Stirling argument")
+	case n == 0 && k == 0:
+		return 1
+	case n == 0 || k == 0 || k > n:
+		return 0
+	}
+	// prev[j] = S(i-1, j)
+	prev := make([]float64, k+1)
+	cur := make([]float64, k+1)
+	prev[0] = 1 // S(0,0)
+	for i := int64(1); i <= n; i++ {
+		cur[0] = 0
+		top := k
+		if i < k {
+			top = i
+		}
+		for j := int64(1); j <= top; j++ {
+			cur[j] = float64(j)*prev[j] + prev[j-1]
+		}
+		for j := top + 1; j <= k; j++ {
+			cur[j] = 0
+		}
+		prev, cur = cur, prev
+	}
+	return prev[k]
+}
+
+// DistinctDistribution returns P(exactly k distinct items are touched)
+// for k = 0..min(r,n) when r independent uniform accesses hit a region of
+// n items, using the paper's Stirling-number derivation. Intended for
+// small n and r (tests and the exact/closed-form ablation); cost model
+// production code uses ExpectedDistinct.
+func DistinctDistribution(n, r int64) []float64 {
+	if n <= 0 || r < 0 {
+		panic("combinatorics: invalid distribution arguments")
+	}
+	kMax := r
+	if n < kMax {
+		kMax = n
+	}
+	out := make([]float64, kMax+1)
+	lnTotal := float64(r) * math.Log(float64(n))
+	for k := int64(0); k <= kMax; k++ {
+		s := Stirling2(r, k)
+		if s == 0 {
+			out[k] = 0
+			continue
+		}
+		// ln(C(n,k) · S(r,k) · k!) − ln(n^r)
+		ln := LnBinomial(n, k) + math.Log(s) + LnFactorial(k) - lnTotal
+		out[k] = math.Exp(ln)
+	}
+	return out
+}
+
+// ExpectedDistinctExact returns E[D] by summing the exact distribution.
+// Feasible only for small r (Stirling numbers overflow float64 quickly);
+// used to validate ExpectedDistinct.
+func ExpectedDistinctExact(n, r int64) float64 {
+	dist := DistinctDistribution(n, r)
+	var e float64
+	for k, p := range dist {
+		e += float64(k) * p
+	}
+	return e
+}
+
+// ExpectedDistinct returns E[D] = n · (1 − (1 − 1/n)^r), the closed form
+// of the paper's Stirling-number expectation, numerically stable for
+// large n and r via expm1/log1p.
+func ExpectedDistinct(n, r int64) float64 {
+	if n <= 0 || r < 0 {
+		panic("combinatorics: invalid expected-distinct arguments")
+	}
+	if r == 0 {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	// n·(1 − exp(r·ln(1−1/n))) computed as −n·expm1(r·log1p(−1/n)).
+	return -float64(n) * math.Expm1(float64(r)*math.Log1p(-1/float64(n)))
+}

@@ -1,0 +1,178 @@
+package combinatorics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}
+
+func TestStirling2KnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int64
+		want float64
+	}{
+		{0, 0, 1},
+		{1, 1, 1},
+		{3, 2, 3},
+		{4, 2, 7},
+		{5, 3, 25},
+		{6, 3, 90},
+		{7, 4, 350},
+		{10, 5, 42525},
+		{5, 0, 0},
+		{3, 5, 0},
+	}
+	for _, tc := range cases {
+		if got := Stirling2(tc.n, tc.k); got != tc.want {
+			t.Errorf("S(%d,%d) = %g, want %g", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestStirling2Recurrence(t *testing.T) {
+	// Property: S(n,k) = k·S(n-1,k) + S(n-1,k-1) for modest n,k.
+	for n := int64(2); n <= 15; n++ {
+		for k := int64(1); k <= n; k++ {
+			want := float64(k)*Stirling2(n-1, k) + Stirling2(n-1, k-1)
+			if got := Stirling2(n, k); got != want {
+				t.Errorf("S(%d,%d) = %g, want %g", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestStirling2RowSumsAreBellNumbers(t *testing.T) {
+	bell := []float64{1, 1, 2, 5, 15, 52, 203, 877, 4140}
+	for n := int64(0); n < int64(len(bell)); n++ {
+		var sum float64
+		for k := int64(0); k <= n; k++ {
+			sum += Stirling2(n, k)
+		}
+		if sum != bell[n] {
+			t.Errorf("row %d sums to %g, want %g", n, sum, bell[n])
+		}
+	}
+}
+
+func TestBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int64
+		want float64
+	}{
+		{5, 2, 10},
+		{10, 5, 252},
+		{20, 10, 184756},
+		{7, 0, 1},
+		{7, 7, 1},
+	}
+	for _, tc := range cases {
+		if got := Binomial(tc.n, tc.k); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("C(%d,%d) = %g, want %g", tc.n, tc.k, got, tc.want)
+		}
+	}
+	if Binomial(5, 6) != 0 || Binomial(5, -1) != 0 {
+		t.Error("out-of-range binomial should be 0")
+	}
+}
+
+func TestLnFactorial(t *testing.T) {
+	if got := LnFactorial(0); got != 0 {
+		t.Errorf("ln 0! = %g", got)
+	}
+	if got := LnFactorial(5); !almostEqual(got, math.Log(120), 1e-12) {
+		t.Errorf("ln 5! = %g, want ln 120", got)
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	for _, tc := range []struct{ n, r int64 }{{4, 3}, {10, 6}, {6, 10}, {1, 5}, {20, 20}} {
+		dist := DistinctDistribution(tc.n, tc.r)
+		var sum float64
+		for _, p := range dist {
+			sum += p
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("distribution(n=%d,r=%d) sums to %g", tc.n, tc.r, sum)
+		}
+	}
+}
+
+func TestExactMatchesClosedForm(t *testing.T) {
+	// The paper's Stirling-number expectation must equal the closed form
+	// n(1-(1-1/n)^r) wherever the exact computation is feasible.
+	for _, tc := range []struct{ n, r int64 }{
+		{1, 1}, {2, 3}, {5, 5}, {10, 7}, {16, 16}, {30, 12}, {8, 40},
+	} {
+		exact := ExpectedDistinctExact(tc.n, tc.r)
+		closed := ExpectedDistinct(tc.n, tc.r)
+		if !almostEqual(exact, closed, 1e-8) {
+			t.Errorf("n=%d r=%d: exact %g vs closed %g", tc.n, tc.r, exact, closed)
+		}
+	}
+}
+
+func TestExpectedDistinctProperties(t *testing.T) {
+	// 0 ≤ E[D] ≤ min(n, r); monotone in r.
+	f := func(na, ra uint16) bool {
+		n := int64(na%1000) + 1
+		r := int64(ra % 2000)
+		d := ExpectedDistinct(n, r)
+		if d < 0 || d > float64(n) || d > float64(r) {
+			return false
+		}
+		return ExpectedDistinct(n, r+1) >= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedDistinctLimits(t *testing.T) {
+	if got := ExpectedDistinct(100, 0); got != 0 {
+		t.Errorf("E[D] with r=0 = %g", got)
+	}
+	if got := ExpectedDistinct(1, 100); got != 1 {
+		t.Errorf("E[D] with n=1 = %g", got)
+	}
+	// r >> n: approaches n.
+	if got := ExpectedDistinct(50, 100000); !almostEqual(got, 50, 1e-6) {
+		t.Errorf("E[D] saturation = %g, want ≈50", got)
+	}
+	// r = 1: exactly 1.
+	if got := ExpectedDistinct(1000000, 1); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("E[D] with r=1 = %g", got)
+	}
+	// Large n, r = n: ≈ n(1-1/e).
+	n := int64(10_000_000)
+	want := float64(n) * (1 - math.Exp(-1))
+	if got := ExpectedDistinct(n, n); !almostEqual(got, want, 1e-4) {
+		t.Errorf("E[D](n,n) = %g, want ≈ %g", got, want)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"neg factorial":    func() { LnFactorial(-1) },
+		"neg stirling":     func() { Stirling2(-1, 2) },
+		"bad distribution": func() { DistinctDistribution(0, 3) },
+		"bad expected":     func() { ExpectedDistinct(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,187 @@
+// Package cost implements the paper's generic database cost model for
+// hierarchical memory systems. Given a hardware.Hierarchy and a
+// pattern.Pattern describing an algorithm's data accesses, it predicts —
+// per cache level — the number of sequential and random cache misses
+// (Eqs. 4.2–4.9 of the paper), combines patterns executed sequentially or
+// concurrently (Section 5), and scores misses with the per-level miss
+// latencies to obtain the memory access time (Eq. 3.1) and total
+// execution time (Eq. 6.1).
+//
+// All miss counts are expectations and therefore float64.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+)
+
+// Misses is the paper's per-level pair (M^s, M^r): expected sequential
+// and random cache misses.
+type Misses struct {
+	Seq float64
+	Rnd float64
+}
+
+// Total returns M^s + M^r.
+func (m Misses) Total() float64 { return m.Seq + m.Rnd }
+
+func (m Misses) add(o Misses) Misses { return Misses{m.Seq + o.Seq, m.Rnd + o.Rnd} }
+
+func (m Misses) scale(f float64) Misses { return Misses{m.Seq * f, m.Rnd * f} }
+
+// State describes the contents of one cache level as the fraction of
+// each data region that is resident (the paper's set of ⟨R, ρ⟩ pairs).
+// Regions not present are not cached at all.
+type State map[*region.Region]float64
+
+// Clone returns a copy of the state.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for r, f := range s {
+		out[r] = f
+	}
+	return out
+}
+
+// LevelResult holds the predicted misses for one cache level.
+type LevelResult struct {
+	Level  hardware.Level
+	Misses Misses
+}
+
+// MemoryTimeNS scores the level's misses with its latencies.
+func (lr LevelResult) MemoryTimeNS() float64 {
+	return lr.Misses.Seq*lr.Level.SeqMissLatency + lr.Misses.Rnd*lr.Level.RndMissLatency
+}
+
+// Result is the model's prediction for a pattern: misses per hierarchy
+// level, in hierarchy order.
+type Result struct {
+	PerLevel []LevelResult
+}
+
+// MemoryTimeNS returns T_mem = Σ_i (Ms_i·ls_i + Mr_i·lr_i), Eq. 3.1.
+func (r *Result) MemoryTimeNS() float64 {
+	var t float64
+	for _, lr := range r.PerLevel {
+		t += lr.MemoryTimeNS()
+	}
+	return t
+}
+
+// TotalMisses returns the summed miss pair for the named level.
+func (r *Result) Level(name string) (LevelResult, bool) {
+	for _, lr := range r.PerLevel {
+		if lr.Level.Name == name {
+			return lr, true
+		}
+	}
+	return LevelResult{}, false
+}
+
+// Model predicts cache misses and memory access costs for data access
+// patterns on a specific hardware hierarchy.
+type Model struct {
+	hier *hardware.Hierarchy
+}
+
+// New creates a model for the hierarchy; the hierarchy must validate.
+func New(h *hardware.Hierarchy) (*Model, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{hier: h}, nil
+}
+
+// MustNew is New, panicking on error (for tests and examples).
+func MustNew(h *hardware.Hierarchy) *Model {
+	m, err := New(h)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Hierarchy returns the model's hardware hierarchy.
+func (m *Model) Hierarchy() *hardware.Hierarchy { return m.hier }
+
+// ColdStates returns an all-empty initial cache state, one per level.
+func (m *Model) ColdStates() []State {
+	out := make([]State, len(m.hier.Levels))
+	for i := range out {
+		out[i] = State{}
+	}
+	return out
+}
+
+// Evaluate predicts the misses of p on cold caches.
+func (m *Model) Evaluate(p pattern.Pattern) (*Result, error) {
+	res, _, err := m.EvaluateFrom(m.ColdStates(), p)
+	return res, err
+}
+
+// EvaluateFrom predicts the misses of p given per-level initial cache
+// states, returning also the per-level states after p completed.
+func (m *Model) EvaluateFrom(states []State, p pattern.Pattern) (*Result, []State, error) {
+	if err := pattern.Validate(p); err != nil {
+		return nil, nil, err
+	}
+	if len(states) != len(m.hier.Levels) {
+		return nil, nil, fmt.Errorf("cost: got %d states for %d levels", len(states), len(m.hier.Levels))
+	}
+	res := &Result{PerLevel: make([]LevelResult, len(m.hier.Levels))}
+	after := make([]State, len(m.hier.Levels))
+	for i, spec := range m.hier.Levels {
+		lp := paramsFor(spec)
+		mi, st := evalLevel(lp, states[i], p)
+		res.PerLevel[i] = LevelResult{Level: spec, Misses: mi}
+		after[i] = st
+	}
+	return res, after, nil
+}
+
+// MemoryTimeNS predicts T_mem for p on cold caches (Eq. 3.1).
+func (m *Model) MemoryTimeNS(p pattern.Pattern) (float64, error) {
+	res, err := m.Evaluate(p)
+	if err != nil {
+		return 0, err
+	}
+	return res.MemoryTimeNS(), nil
+}
+
+// TotalTimeNS predicts T = T_mem + T_cpu (Eq. 6.1) given the pure CPU
+// time in nanoseconds (calibrated in-cache, as the paper does).
+func (m *Model) TotalTimeNS(p pattern.Pattern, cpuNS float64) (float64, error) {
+	tm, err := m.MemoryTimeNS(p)
+	if err != nil {
+		return 0, err
+	}
+	return tm + cpuNS, nil
+}
+
+// levelParams are the per-level quantities the formulas use. Capacity
+// and line count are float64 because concurrent execution divides the
+// cache among patterns in footprint proportion (Eq. 5.3), yielding
+// fractional effective capacities.
+type levelParams struct {
+	C float64 // (effective) capacity in bytes
+	B float64 // line size in bytes
+	L float64 // (effective) number of lines, C/B
+}
+
+func paramsFor(spec hardware.Level) levelParams {
+	return levelParams{
+		C: float64(spec.Capacity),
+		B: float64(spec.LineSize),
+		L: float64(spec.Lines()),
+	}
+}
+
+// scaled returns the level with capacity and line count multiplied by nu
+// (0 < nu ≤ 1), the cache-division step of Eq. 5.3.
+func (lp levelParams) scaled(nu float64) levelParams {
+	return levelParams{C: lp.C * nu, B: lp.B, L: lp.L * nu}
+}

@@ -1,0 +1,187 @@
+package cost
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// Explain produces an itemized cost breakdown of a pattern: for every
+// node of the pattern tree, its per-level misses and memory time, with
+// cache state threaded exactly as in Evaluate. Optimizer developers use
+// it to see *where* a plan's memory cost comes from.
+
+// ExplainNode is one pattern-tree node's contribution.
+type ExplainNode struct {
+	// Pattern is the node's rendering.
+	Pattern string
+	// Depth is the tree depth (0 = root).
+	Depth int
+	// Kind is "basic", "seq" or "conc".
+	Kind string
+	// PerLevel holds the node's misses per hierarchy level (for
+	// compounds: the sum over children).
+	PerLevel []Misses
+	// TimeNS is the node's memory time (Eq. 3.1 over PerLevel).
+	TimeNS float64
+}
+
+// Explanation is the itemized breakdown plus the totals.
+type Explanation struct {
+	Model *Model
+	Nodes []ExplainNode
+}
+
+// Total returns the root node (whole-pattern totals).
+func (e *Explanation) Total() ExplainNode { return e.Nodes[0] }
+
+// Render writes an indented cost tree.
+func (e *Explanation) Render(w io.Writer) {
+	levels := e.Model.Hierarchy().Levels
+	fmt.Fprintf(w, "%-60s %12s", "pattern", "time[ms]")
+	for _, l := range levels {
+		fmt.Fprintf(w, " %12s", l.Name+"-miss")
+	}
+	fmt.Fprintln(w)
+	for _, n := range e.Nodes {
+		label := strings.Repeat("  ", n.Depth) + n.Pattern
+		if len(label) > 60 {
+			label = label[:57] + "..."
+		}
+		fmt.Fprintf(w, "%-60s %12.3f", label, n.TimeNS/1e6)
+		for _, m := range n.PerLevel {
+			fmt.Fprintf(w, " %12.0f", m.Total())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Explain evaluates p on cold caches and returns the itemized breakdown.
+// The totals equal Evaluate's result exactly.
+func (m *Model) Explain(p pattern.Pattern) (*Explanation, error) {
+	if err := pattern.Validate(p); err != nil {
+		return nil, err
+	}
+	e := &Explanation{Model: m}
+	states := m.ColdStates()
+	lps := make([]levelParams, len(m.hier.Levels))
+	for i, spec := range m.hier.Levels {
+		lps[i] = paramsFor(spec)
+	}
+	e.explain(lps, states, p, 0)
+	return e, nil
+}
+
+// explain walks the pattern tree mirroring evalLevel's state threading,
+// appending one ExplainNode per tree node; it returns the node's
+// per-level misses and the per-level states after it ran.
+func (e *Explanation) explain(lps []levelParams, states []State, p pattern.Pattern, depth int) ([]Misses, []State) {
+	idx := len(e.Nodes)
+	node := ExplainNode{Pattern: p.String(), Depth: depth, Kind: "basic"}
+	e.Nodes = append(e.Nodes, node)
+
+	switch q := p.(type) {
+	case pattern.Seq:
+		node.Kind = "seq"
+		node.Pattern = fmt.Sprintf("seq of %d", len(q))
+		total := make([]Misses, len(lps))
+		cur := states
+		for _, sub := range q {
+			var mi []Misses
+			mi, cur = e.explain(lps, cur, sub, depth+1)
+			for i := range total {
+				total[i] = total[i].add(mi[i])
+			}
+		}
+		node.PerLevel = total
+		node.TimeNS = e.timeOf(total)
+		e.Nodes[idx] = node
+		return total, cur
+
+	case pattern.Conc:
+		node.Kind = "conc"
+		node.Pattern = fmt.Sprintf("conc of %d", len(q))
+		total := make([]Misses, len(lps))
+		after := make([]State, len(lps))
+		for i := range after {
+			after[i] = State{}
+		}
+		// Mirror evalLevel's division per level for each child.
+		for _, sub := range q {
+			subMisses := make([]Misses, len(lps))
+			subStates := make([]State, len(lps))
+			for i, lp := range lps {
+				totalFoot := footprint(lp, q)
+				nu := 1.0
+				if totalFoot > 0 {
+					nu = footprint(lp, sub) / totalFoot
+				}
+				if nu <= 0 {
+					nu = 1 / lp.L
+				}
+				mi, st := evalLevel(lp.scaled(nu), states[i], sub)
+				subMisses[i] = mi
+				subStates[i] = st
+			}
+			e.appendChild(lps, subMisses, sub, depth+1)
+			for i := range total {
+				total[i] = total[i].add(subMisses[i])
+				for r, f := range subStates[i] {
+					if f > after[i][r] {
+						after[i][r] = f
+					}
+				}
+			}
+		}
+		for i := range after {
+			after[i] = mergeState(lps[i], states[i], after[i])
+		}
+		node.PerLevel = total
+		node.TimeNS = e.timeOf(total)
+		e.Nodes[idx] = node
+		return total, after
+
+	default:
+		mi := make([]Misses, len(lps))
+		after := make([]State, len(lps))
+		for i, lp := range lps {
+			m, st := evalLevel(lp, states[i], p)
+			mi[i] = m
+			after[i] = st
+		}
+		node.PerLevel = mi
+		node.TimeNS = e.timeOf(mi)
+		e.Nodes[idx] = node
+		return mi, after
+	}
+}
+
+// appendChild records a concurrent child's contribution without
+// re-walking its subtree with unscaled parameters (the division already
+// happened); nested compounds under ⊙ appear as single summarized rows.
+func (e *Explanation) appendChild(lps []levelParams, mi []Misses, p pattern.Pattern, depth int) {
+	kind := "basic"
+	switch p.(type) {
+	case pattern.Seq:
+		kind = "seq"
+	case pattern.Conc:
+		kind = "conc"
+	}
+	e.Nodes = append(e.Nodes, ExplainNode{
+		Pattern:  p.String(),
+		Depth:    depth,
+		Kind:     kind,
+		PerLevel: mi,
+		TimeNS:   e.timeOf(mi),
+	})
+}
+
+func (e *Explanation) timeOf(mi []Misses) float64 {
+	var t float64
+	for i, l := range e.Model.Hierarchy().Levels {
+		t += mi[i].Seq*l.SeqMissLatency + mi[i].Rnd*l.RndMissLatency
+	}
+	return t
+}

@@ -1,0 +1,98 @@
+package cost
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+)
+
+func TestExplainTotalsMatchEvaluate(t *testing.T) {
+	m := MustNew(hardware.Origin2000())
+	n := int64(1 << 18)
+	u := region.New("U", n, 16)
+	v := region.New("V", n, 16)
+	w := region.New("W", n, 16)
+	h := engine.HashRegionFor("H", n)
+	patterns := []pattern.Pattern{
+		pattern.STrav{R: u},
+		pattern.RAcc{R: h, Count: n},
+		engine.HashJoinPattern(u, v, h, w),
+		engine.MergeJoinPattern(u, v, w),
+		engine.PartitionedHashJoinPattern(u, v, w, 16),
+		engine.QuickSortPattern(u, 32<<10),
+	}
+	for _, p := range patterns {
+		res, err := m.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := m.Explain(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := exp.Total()
+		for i := range res.PerLevel {
+			a := res.PerLevel[i].Misses.Total()
+			b := root.PerLevel[i].Total()
+			if math.Abs(a-b) > 1e-6*math.Max(1, a) {
+				t.Errorf("%T level %d: Evaluate %g vs Explain %g", p, i, a, b)
+			}
+		}
+		if math.Abs(res.MemoryTimeNS()-root.TimeNS) > 1e-6*math.Max(1, res.MemoryTimeNS()) {
+			t.Errorf("%T: time mismatch %g vs %g", p, res.MemoryTimeNS(), root.TimeNS)
+		}
+	}
+}
+
+func TestExplainChildSums(t *testing.T) {
+	// The root of a Seq equals the sum of its depth-1 children.
+	m := MustNew(hardware.Origin2000())
+	u := region.New("U", 1<<18, 16)
+	v := region.New("V", 1<<18, 16)
+	h := engine.HashRegionFor("H", 1<<18)
+	w := region.New("W", 1<<18, 16)
+	exp, err := m.Explain(engine.HashJoinPattern(u, v, h, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := exp.Total()
+	var childTime float64
+	for _, n := range exp.Nodes[1:] {
+		if n.Depth == 1 {
+			childTime += n.TimeNS
+		}
+	}
+	if math.Abs(childTime-root.TimeNS) > 1e-6*root.TimeNS {
+		t.Errorf("children sum to %g, root %g", childTime, root.TimeNS)
+	}
+}
+
+func TestExplainRender(t *testing.T) {
+	m := MustNew(hardware.Origin2000())
+	u := region.New("U", 1000, 8)
+	exp, err := m.Explain(pattern.Seq{pattern.STrav{R: u}, pattern.RTrav{R: u}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	exp.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"seq of 2", "s_trav(U)", "r_trav(U)", "L1-miss", "time[ms]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainValidates(t *testing.T) {
+	m := MustNew(hardware.Origin2000())
+	if _, err := m.Explain(pattern.Seq{}); err == nil {
+		t.Error("empty Seq accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package cost_test
+
+// The paper's Section 2.3/7 claim: the unified hardware model covers
+// disk I/O by viewing main memory (the buffer pool) as one more cache
+// level whose lines are pages and whose miss latencies are disk seek and
+// transfer times. These tests exercise the cost model on such an
+// extended hierarchy.
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+)
+
+func diskModel(t *testing.T, bufferPool int64) *cost.Model {
+	t.Helper()
+	h := hardware.DiskExtended(bufferPool, 16<<10)
+	m, err := cost.New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDiskScanCostsSequentialIO(t *testing.T) {
+	// Scanning a 256 MB table through a 64 MB buffer pool costs one
+	// sequential page read per page.
+	m := diskModel(t, 64<<20)
+	r := region.New("T", 1<<25, 8) // 256 MB
+	res, err := m.Evaluate(pattern.STrav{R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ok := res.Level("BP")
+	if !ok {
+		t.Fatal("BP level missing")
+	}
+	wantPages := float64(r.Size() / (16 << 10))
+	if bp.Misses.Total() != wantPages {
+		t.Errorf("page faults = %g, want %g", bp.Misses.Total(), wantPages)
+	}
+	if bp.Misses.Rnd != 0 {
+		t.Errorf("sequential scan should cause no random I/O, got %g", bp.Misses.Rnd)
+	}
+}
+
+func TestDiskResidentTableIsFree(t *testing.T) {
+	// A table smaller than the buffer pool causes I/O only on first use.
+	m := diskModel(t, 64<<20)
+	r := region.New("T", 1<<21, 8) // 16 MB < 64 MB pool
+	p := pattern.Seq{pattern.STrav{R: r}, pattern.STrav{R: r}, pattern.RTrav{R: r}}
+	res, err := m.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, _ := res.Level("BP")
+	wantPages := float64(r.Size() / (16 << 10))
+	if bp.Misses.Total() != wantPages {
+		t.Errorf("pool-resident rescans should be free: %g faults, want %g",
+			bp.Misses.Total(), wantPages)
+	}
+}
+
+func TestDiskRandomAccessPaysSeeks(t *testing.T) {
+	// Random access over a table far exceeding the pool pays the random
+	// (seek-dominated) latency, making its time vastly exceed a scan's.
+	m := diskModel(t, 64<<20)
+	r := region.New("T", 1<<25, 8) // 256 MB
+	scan, err := m.Evaluate(pattern.STrav{R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := m.Evaluate(pattern.RAcc{R: r, Count: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanBP, _ := scan.Level("BP")
+	probeBP, _ := probe.Level("BP")
+	scanTime := scanBP.MemoryTimeNS()
+	probeTime := probeBP.MemoryTimeNS()
+	// 1M random probes over 16k pages with 4k pool pages resident: most
+	// accesses seek. The scan reads 16k pages sequentially.
+	if probeTime < 5*scanTime {
+		t.Errorf("random I/O (%.0f ms) should dwarf a scan (%.0f ms)",
+			probeTime/1e6, scanTime/1e6)
+	}
+}
+
+func TestDiskJoinChoiceFlipsWithPoolSize(t *testing.T) {
+	// The unified model reproduces classic I/O wisdom: a hash join whose
+	// table fits the buffer pool is cheap; when it does not, the miss
+	// count at the BP level explodes.
+	small := diskModel(t, 256<<20)
+	big := diskModel(t, 16<<20)
+	n := int64(1 << 21) // 16 MB inputs, hash table 64 MB
+	u := region.New("U", n, 8)
+	v := region.New("V", n, 8)
+	w := region.New("W", n, 8)
+	h := engine.HashRegionFor("H", n)
+	p := engine.HashJoinPattern(u, v, h, w)
+
+	resSmallPool, err := big.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBigPool, err := small.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpSmall, _ := resSmallPool.Level("BP")
+	bpBig, _ := resBigPool.Level("BP")
+	if bpSmall.Misses.Total() < 4*bpBig.Misses.Total() {
+		t.Errorf("pool pressure not visible: %g vs %g BP misses",
+			bpSmall.Misses.Total(), bpBig.Misses.Total())
+	}
+}
+
+func TestDiskHierarchyMemoryLevelsUnchanged(t *testing.T) {
+	// Adding the BP level must not alter the in-memory predictions.
+	plain := cost.MustNew(hardware.Origin2000())
+	disk := diskModel(t, 64<<20)
+	r := region.New("U", 1<<20, 8)
+	p := pattern.RTrav{R: r}
+	a, err := plain.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := disk.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerLevel {
+		if a.PerLevel[i].Misses != b.PerLevel[i].Misses {
+			t.Errorf("level %s changed with BP present", a.PerLevel[i].Level.Name)
+		}
+	}
+}

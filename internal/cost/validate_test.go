@@ -1,0 +1,236 @@
+package cost_test
+
+// Model-vs-measurement validation at pattern granularity: every basic
+// pattern (and representative compounds) is executed by the pattern
+// driver against simulated memory with an attached cache simulator, and
+// the counted misses are compared per level against the cost model's
+// prediction. This is the paper's Section 6 methodology with the
+// simulator standing in for hardware event counters.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/cost"
+	"repro/internal/driver"
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+// runPattern executes p on a fresh memory+simulator for hierarchy h and
+// returns per-level measured stats. Regions are materialized in pattern
+// order, cache-line aligned.
+func runPattern(h *hardware.Hierarchy, p pattern.Pattern, seed uint64) []cachesim.Stats {
+	mem := vmem.New(1 << 26)
+	sim := cachesim.New(h)
+	line := h.Levels[0].LineSize
+	for i, r := range p.Regions() {
+		// Stagger region bases by a few lines: back-to-back equal-sized
+		// allocations would place all concurrent cursors in the same
+		// associative set, a pathological conflict pattern the model
+		// (like the paper's) deliberately does not cover.
+		mem.Alloc(int64(i%7+1)*line, 1)
+		driver.Materialize(mem, r, line)
+	}
+	mem.SetObserver(sim)
+	driver.Run(mem, workload.NewRNG(seed), p)
+	return sim.AllStats()
+}
+
+// checkAgreement evaluates the model for p and compares totals per level.
+func checkAgreement(t *testing.T, name string, h *hardware.Hierarchy, p pattern.Pattern, tol float64) {
+	t.Helper()
+	measured := runPattern(h, p, 42)
+	model := cost.MustNew(h)
+	res, err := model.Evaluate(p)
+	if err != nil {
+		t.Fatalf("%s: Evaluate: %v", name, err)
+	}
+	for i, lvl := range h.Levels {
+		pred := res.PerLevel[i].Misses.Total()
+		meas := float64(measured[i].Misses())
+		if !within(pred, meas, tol, 8) {
+			t.Errorf("%s @%s: predicted %.1f, measured %.0f (tol %.0f%%)",
+				name, lvl.Name, pred, meas, tol*100)
+		}
+	}
+}
+
+// within reports |a−b| ≤ tol·max(a,b) with an absolute slack for tiny
+// counts.
+func within(a, b, tol, abs float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= tol*m+abs
+}
+
+func small() *hardware.Hierarchy { return hardware.SmallTest() }
+
+func TestValidateSTravDense(t *testing.T) {
+	for _, sz := range []int64{512, 2048, 16384} { // fits L1 / fits L2 / neither
+		r := region.New(fmt.Sprintf("U%d", sz), sz/8, 8)
+		checkAgreement(t, fmt.Sprintf("s_trav dense %dB", sz), small(), pattern.STrav{R: r}, 0.05)
+	}
+}
+
+func TestValidateSTravSparse(t *testing.T) {
+	// The model's Eq. 4.3 averages over all B alignments of the region
+	// base (the paper's Fig. 5 "average" curve), so the measurement must
+	// do the same: run one traversal per base alignment and compare the
+	// mean per-level miss count.
+	h := small()
+	model := cost.MustNew(h)
+	lineB := h.Levels[0].LineSize
+	sums := make([]float64, len(h.Levels))
+	for off := int64(0); off < lineB; off++ {
+		r := region.New("U", 300, 64) // w−u = 56 ≥ 32 at L1, < 64 at L2
+		mem := vmem.New(1 << 22)
+		sim := cachesim.New(h)
+		driver.MaterializeAt(mem, r, lineB, off)
+		mem.SetObserver(sim)
+		driver.Run(mem, workload.NewRNG(7), pattern.STrav{R: r, U: 8})
+		for i, st := range sim.AllStats() {
+			sums[i] += float64(st.Misses())
+		}
+	}
+	r := region.New("U", 300, 64)
+	res, err := model.Evaluate(pattern.STrav{R: r, U: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lvl := range h.Levels {
+		meanMeasured := sums[i] / float64(lineB)
+		pred := res.PerLevel[i].Misses.Total()
+		if !within(pred, meanMeasured, 0.10, 8) {
+			t.Errorf("s_trav sparse @%s: predicted %.1f, measured mean %.1f",
+				lvl.Name, pred, meanMeasured)
+		}
+	}
+}
+
+func TestValidateRTrav(t *testing.T) {
+	// Eq. 4.4 charges extra misses only to the accesses beyond the
+	// cache's item capacity, which systematically underestimates the
+	// mid-range (region a small multiple of the cache) — the paper
+	// itself shows this dip in Fig. 6c/6d. Tolerance reflects that.
+	for _, tc := range []struct {
+		sz  int64
+		tol float64
+	}{
+		{512, 0.10},   // fits: exact
+		{4096, 0.45},  // mid-range: known paper-formula underestimate
+		{32768, 0.30}, // far oversized: formula approaches measurement
+	} {
+		r := region.New(fmt.Sprintf("U%d", tc.sz), tc.sz/8, 8)
+		checkAgreement(t, fmt.Sprintf("r_trav %dB", tc.sz), small(), pattern.RTrav{R: r}, tc.tol)
+	}
+}
+
+func TestValidateRSTrav(t *testing.T) {
+	cases := []struct {
+		sz      int64
+		repeats int64
+		dir     pattern.Direction
+		tol     float64
+	}{
+		{512, 4, pattern.Uni, 0.10},   // fits L1: only first sweep
+		{16384, 3, pattern.Uni, 0.10}, // oversized: full cost per sweep
+		{16384, 3, pattern.Bi, 0.25},  // oversized bi: partial reuse
+		{4096, 4, pattern.Bi, 0.30},   // fits L2, not L1
+	}
+	for _, tc := range cases {
+		r := region.New(fmt.Sprintf("U%d_%d%v", tc.sz, tc.repeats, tc.dir), tc.sz/8, 8)
+		p := pattern.RSTrav{R: r, Repeats: tc.repeats, Dir: tc.dir}
+		checkAgreement(t, p.String(), small(), p, tc.tol)
+	}
+}
+
+func TestValidateRRTrav(t *testing.T) {
+	for _, sz := range []int64{512, 8192} {
+		r := region.New(fmt.Sprintf("U%d", sz), sz/8, 8)
+		p := pattern.RRTrav{R: r, Repeats: 3}
+		checkAgreement(t, p.String(), small(), p, 0.35)
+	}
+}
+
+func TestValidateRAcc(t *testing.T) {
+	r := region.New("H", 1024, 16) // 16kB, exceeds both caches
+	for _, count := range []int64{256, 1024, 4096} {
+		p := pattern.RAcc{R: r, Count: count}
+		checkAgreement(t, p.String(), small(), p, 0.35)
+	}
+	rSmall := region.New("Hs", 32, 16) // 512B fits L1
+	checkAgreement(t, "r_acc cached", small(), pattern.RAcc{R: rSmall, Count: 2048}, 0.35)
+}
+
+func TestValidateNestSequentialInner(t *testing.T) {
+	// Non-power-of-two sub-region counts keep the cursor strides from
+	// landing in a single associative set (real partitioners see skewed
+	// cluster sizes; perfectly set-aligned clusters are the conflict
+	// pathology the capacity model does not cover).
+	r := region.New("X", 4100, 8) // ≈32kB
+	for _, m := range []int64{5, 17, 61, 331} {
+		p := pattern.Nest{R: r, M: m, Inner: pattern.InnerSTrav, Order: pattern.OrderRandom}
+		checkAgreement(t, p.String(), small(), p, 0.40)
+	}
+}
+
+func TestValidateNestRandomInner(t *testing.T) {
+	r := region.New("X", 2048, 8)
+	p := pattern.Nest{R: r, M: 8, Inner: pattern.InnerRTrav, Order: pattern.OrderRandom}
+	checkAgreement(t, p.String(), small(), p, 0.35)
+}
+
+func TestValidateSeqWarmRescan(t *testing.T) {
+	r := region.New("U", 64, 8) // 512B fits everywhere
+	p := pattern.Seq{pattern.STrav{R: r}, pattern.STrav{R: r}, pattern.STrav{R: r}}
+	checkAgreement(t, "warm rescan", small(), p, 0.10)
+}
+
+func TestValidateConcScans(t *testing.T) {
+	// Merge-join shape: three concurrent streams.
+	u := region.New("U", 1024, 8)
+	v := region.New("V", 1024, 8)
+	w := region.New("W", 1024, 8)
+	p := pattern.Conc{pattern.STrav{R: u}, pattern.STrav{R: v}, pattern.STrav{R: w}}
+	checkAgreement(t, "conc scans", small(), p, 0.10)
+}
+
+func TestValidateConcScanPlusRAcc(t *testing.T) {
+	// Hash-probe shape: stream concurrent with random access.
+	u := region.New("U", 1024, 8)
+	h := region.New("H", 512, 16) // 8kB
+	p := pattern.Conc{pattern.STrav{R: u}, pattern.RAcc{R: h, Count: 1024}}
+	checkAgreement(t, "scan+r_acc", small(), p, 0.40)
+}
+
+func TestValidateSeqOfConc(t *testing.T) {
+	// Hash-join shape: build then probe.
+	v := region.New("V", 512, 8)
+	h := region.New("H", 256, 16)
+	u := region.New("U", 512, 8)
+	w := region.New("W", 512, 8)
+	p := pattern.Seq{
+		pattern.Conc{pattern.STrav{R: v}, pattern.RTrav{R: h}},
+		pattern.Conc{pattern.STrav{R: u}, pattern.RAcc{R: h, Count: 512}, pattern.STrav{R: w}},
+	}
+	checkAgreement(t, "hash-join shape", small(), p, 0.40)
+}
+
+func TestValidateAcrossHierarchies(t *testing.T) {
+	// The model must hold on a different hierarchy too (not overfitted).
+	h := hardware.ModernX86()
+	r := region.New("U", 8192, 8) // 64kB: exceeds L1/L2? L1 32kB, L2 256kB
+	checkAgreement(t, "x86 s_trav", h, pattern.STrav{R: r}, 0.05)
+	checkAgreement(t, "x86 r_trav", h, pattern.RTrav{R: r}, 0.35)
+}

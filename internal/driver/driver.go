@@ -1,0 +1,375 @@
+// Package driver executes data access patterns (internal/pattern)
+// against simulated memory (internal/vmem), producing the canonical
+// address trace each pattern denotes. With a cache simulator attached to
+// the memory, the trace yields measured cache misses that validation
+// experiments compare against the cost model's predictions — exactly the
+// paper's Section 6 methodology, with the simulator standing in for
+// hardware event counters.
+//
+// Compound semantics: Seq runs its children one after another; Conc
+// interleaves its children one access quantum at a time, round-robin,
+// which is the reference interpretation of "concurrent execution" for a
+// single-threaded database operator.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/region"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+// Materialize allocates backing storage for r in mem with the given
+// alignment and records the base address in r.Base. Regions that already
+// have storage (Base ≠ 0 or explicitly placed at 0) are the caller's
+// responsibility.
+func Materialize(mem *vmem.Memory, r *region.Region, align int64) {
+	r.Base = int64(mem.Alloc(r.Size(), align))
+}
+
+// MaterializeAt allocates storage whose base is congruent to offset
+// modulo align (alignment experiments, the paper's Figure 5).
+func MaterializeAt(mem *vmem.Memory, r *region.Region, align, offset int64) {
+	r.Base = int64(mem.AllocOffset(r.Size(), align, offset))
+}
+
+// Run executes p against mem. Every region reachable from p must be
+// materialized (have a valid Base). The RNG drives random traversal
+// permutations and random access choices deterministically.
+func Run(mem *vmem.Memory, rng *workload.RNG, p pattern.Pattern) {
+	if err := pattern.Validate(p); err != nil {
+		panic("driver: " + err.Error())
+	}
+	s := compile(mem, rng, p)
+	for s.step() {
+	}
+}
+
+// stepper performs one access quantum per call; step reports whether the
+// pattern still has work left (false once exhausted).
+type stepper interface {
+	step() bool
+}
+
+func compile(mem *vmem.Memory, rng *workload.RNG, p pattern.Pattern) stepper {
+	switch q := p.(type) {
+	case pattern.STrav:
+		return newSTrav(mem, q.R, q.U, false, 1)
+	case pattern.RSTrav:
+		return newRepeat(q.Repeats, func(rep int64) stepper {
+			backwards := q.Dir == pattern.Bi && rep%2 == 1
+			return newSTrav(mem, q.R, q.U, backwards, 1)
+		})
+	case pattern.RTrav:
+		return newRTrav(mem, rng, q.R, q.U)
+	case pattern.RRTrav:
+		return newRepeat(q.Repeats, func(int64) stepper {
+			return newRTrav(mem, rng, q.R, q.U)
+		})
+	case pattern.RAcc:
+		return newRAcc(mem, rng, q.R, q.U, q.Count)
+	case pattern.Nest:
+		return newNest(mem, rng, q)
+	case pattern.Seq:
+		children := make([]func() stepper, len(q))
+		for i, sub := range q {
+			sub := sub
+			children[i] = func() stepper { return compile(mem, rng, sub) }
+		}
+		return &seqStepper{make: children}
+	case pattern.Conc:
+		children := make([]stepper, len(q))
+		for i, sub := range q {
+			children[i] = compile(mem, rng, sub)
+		}
+		return &concStepper{children: children}
+	default:
+		panic(fmt.Sprintf("driver: unknown pattern %T", p))
+	}
+}
+
+// sTravStepper walks a region sequentially, touching u bytes per item.
+type sTravStepper struct {
+	mem       *vmem.Memory
+	base      vmem.Addr
+	w, u      int64
+	i, n      int64
+	backwards bool
+}
+
+func newSTrav(mem *vmem.Memory, r *region.Region, u int64, backwards bool, _ int64) stepper {
+	return &sTravStepper{
+		mem:       mem,
+		base:      vmem.Addr(r.Base),
+		w:         r.W,
+		u:         pattern.Used(u, r),
+		n:         r.N,
+		backwards: backwards,
+	}
+}
+
+func (s *sTravStepper) step() bool {
+	if s.i >= s.n {
+		return false
+	}
+	idx := s.i
+	if s.backwards {
+		idx = s.n - 1 - s.i
+	}
+	s.mem.Touch(s.base+vmem.Addr(idx*s.w), s.u)
+	s.i++
+	return true
+}
+
+// rTravStepper visits every item exactly once in a random permutation.
+type rTravStepper struct {
+	mem  *vmem.Memory
+	base vmem.Addr
+	w, u int64
+	perm []int64
+	i    int64
+}
+
+func newRTrav(mem *vmem.Memory, rng *workload.RNG, r *region.Region, u int64) stepper {
+	return &rTravStepper{
+		mem:  mem,
+		base: vmem.Addr(r.Base),
+		w:    r.W,
+		u:    pattern.Used(u, r),
+		perm: rng.Permutation(r.N),
+	}
+}
+
+func (s *rTravStepper) step() bool {
+	if s.i >= int64(len(s.perm)) {
+		return false
+	}
+	s.mem.Touch(s.base+vmem.Addr(s.perm[s.i]*s.w), s.u)
+	s.i++
+	return true
+}
+
+// rAccStepper performs count independent uniform accesses.
+type rAccStepper struct {
+	mem     *vmem.Memory
+	rng     *workload.RNG
+	base    vmem.Addr
+	w, u    int64
+	n, left int64
+}
+
+func newRAcc(mem *vmem.Memory, rng *workload.RNG, r *region.Region, u, count int64) stepper {
+	return &rAccStepper{
+		mem:  mem,
+		rng:  rng,
+		base: vmem.Addr(r.Base),
+		w:    r.W,
+		u:    pattern.Used(u, r),
+		n:    r.N,
+		left: count,
+	}
+}
+
+func (s *rAccStepper) step() bool {
+	if s.left <= 0 {
+		return false
+	}
+	s.mem.Touch(s.base+vmem.Addr(s.rng.Intn(s.n)*s.w), s.u)
+	s.left--
+	return true
+}
+
+// repeatStepper runs `repeats` instances of a sub-stepper back to back.
+type repeatStepper struct {
+	make    func(rep int64) stepper
+	repeats int64
+	rep     int64
+	cur     stepper
+}
+
+func newRepeat(repeats int64, make func(rep int64) stepper) stepper {
+	return &repeatStepper{make: make, repeats: repeats}
+}
+
+func (s *repeatStepper) step() bool {
+	for {
+		if s.cur == nil {
+			if s.rep >= s.repeats {
+				return false
+			}
+			s.cur = s.make(s.rep)
+			s.rep++
+		}
+		if s.cur.step() {
+			return true
+		}
+		s.cur = nil
+	}
+}
+
+// seqStepper runs child patterns one after another.
+type seqStepper struct {
+	make []func() stepper
+	idx  int
+	cur  stepper
+}
+
+func (s *seqStepper) step() bool {
+	for {
+		if s.cur == nil {
+			if s.idx >= len(s.make) {
+				return false
+			}
+			s.cur = s.make[s.idx]()
+			s.idx++
+		}
+		if s.cur.step() {
+			return true
+		}
+		s.cur = nil
+	}
+}
+
+// concStepper interleaves children round-robin, one quantum each.
+type concStepper struct {
+	children []stepper
+	next     int
+}
+
+func (s *concStepper) step() bool {
+	n := len(s.children)
+	for tries := 0; tries < n; tries++ {
+		idx := s.next
+		s.next = (s.next + 1) % n
+		c := s.children[idx]
+		if c == nil {
+			continue
+		}
+		if c.step() {
+			return true
+		}
+		s.children[idx] = nil
+	}
+	return false
+}
+
+// nestStepper drives m local cursors over the sub-regions of R with a
+// global cursor in the requested order.
+type nestStepper struct {
+	mem     *vmem.Memory
+	rng     *workload.RNG
+	cursors []stepper
+	order   pattern.Order
+	// alive holds the indices of non-exhausted cursors (random order).
+	alive []int
+	// sequential global cursor position and direction
+	pos, dir int
+	active   int
+}
+
+func newNest(mem *vmem.Memory, rng *workload.RNG, q pattern.Nest) stepper {
+	m := q.M
+	cursors := make([]stepper, m)
+	for j := int64(0); j < m; j++ {
+		sub := q.R.Sub(j, m)
+		// Sub-regions are laid out contiguously within R.
+		sub.Base = q.R.Base + subOffset(q.R, j, m)
+		switch q.Inner {
+		case pattern.InnerSTrav:
+			cursors[j] = newSTrav(mem, sub, q.U, false, 1)
+		case pattern.InnerRTrav:
+			cursors[j] = newRTrav(mem, rng, sub, q.U)
+		case pattern.InnerRAcc:
+			cursors[j] = newRAcc(mem, rng, sub, q.U, q.Count)
+		}
+	}
+	alive := make([]int, m)
+	for j := range alive {
+		alive[j] = j
+	}
+	return &nestStepper{
+		mem:     mem,
+		rng:     rng,
+		cursors: cursors,
+		order:   q.Order,
+		alive:   alive,
+		dir:     1,
+		active:  len(cursors),
+	}
+}
+
+// subOffset returns the byte offset of sub-region j within its parent
+// when the parent is split m ways with the same uneven-split rule as
+// region.Sub.
+func subOffset(r *region.Region, j, m int64) int64 {
+	base, extra := r.N/m, r.N%m
+	items := j * base
+	if j < extra {
+		items += j
+	} else {
+		items += extra
+	}
+	return items * r.W
+}
+
+func (s *nestStepper) step() bool {
+	if s.active == 0 {
+		return false
+	}
+	if s.order == pattern.OrderRandom {
+		// Pick uniformly among live cursors.
+		for len(s.alive) > 0 {
+			k := int(s.rng.Intn(int64(len(s.alive))))
+			j := s.alive[k]
+			if s.cursors[j].step() {
+				return true
+			}
+			// Exhausted: swap-remove from the live list.
+			s.alive[k] = s.alive[len(s.alive)-1]
+			s.alive = s.alive[:len(s.alive)-1]
+			s.active--
+		}
+		return false
+	}
+	// Sequential global order (uni or bi): skip exhausted cursors. Every
+	// live cursor is visited within 2m advances (bi bounces double-visit
+	// the ends), so the bound below covers a full sweep.
+	m := len(s.cursors)
+	for tries := 0; tries < 2*m && s.active > 0; tries++ {
+		j := s.pos
+		s.advance()
+		c := s.cursors[j]
+		if c == nil {
+			continue
+		}
+		if c.step() {
+			return true
+		}
+		s.cursors[j] = nil
+		s.active--
+	}
+	return s.active > 0 && s.step()
+}
+
+func (s *nestStepper) advance() {
+	m := len(s.cursors)
+	if s.order == pattern.OrderUni {
+		s.pos = (s.pos + 1) % m
+		return
+	}
+	// Bi-directional: bounce at the ends.
+	next := s.pos + s.dir
+	if next < 0 || next >= m {
+		s.dir = -s.dir
+		next = s.pos + s.dir
+		if next < 0 {
+			next = 0
+		}
+		if next >= m {
+			next = m - 1
+		}
+	}
+	s.pos = next
+}

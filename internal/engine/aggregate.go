@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"repro/internal/region"
+	"repro/internal/vmem"
+)
+
+// Aggregation and duplicate elimination. The paper notes both are
+// implemented via hashing or sorting and perform the respective access
+// patterns; we provide the hash-based variants (sequential input
+// traversal concurrent with random access to an aggregate/seen table)
+// and a sort-based dedup for comparison.
+
+// AggTable is a hash-addressed aggregation table: buckets of
+// (key, count, sum) = 24 bytes.
+type AggTable struct {
+	Mem   *vmem.Memory
+	Reg   *region.Region
+	Base  vmem.Addr
+	mask  uint64
+	shift uint
+}
+
+// AggBucketWidth is the byte width of one aggregation bucket.
+const AggBucketWidth = 24
+
+// NewAggTable allocates an aggregation table for up to n groups.
+func NewAggTable(mem *vmem.Memory, name string, n int64) *AggTable {
+	buckets := int64(1)
+	bits := uint(0)
+	for buckets < 2*n {
+		buckets <<= 1
+		bits++
+	}
+	base := mem.Alloc(buckets*AggBucketWidth, 8)
+	r := region.New(name, buckets, AggBucketWidth)
+	r.Base = int64(base)
+	return &AggTable{Mem: mem, Reg: r, Base: base, mask: uint64(buckets - 1), shift: 64 - bits}
+}
+
+func (a *AggTable) bucketAddr(b uint64) vmem.Addr {
+	return a.Base + vmem.Addr(int64(b)*AggBucketWidth)
+}
+
+// Add accumulates value into key's group.
+func (a *AggTable) Add(key, value uint64) {
+	// High multiplicative-hash bits, for the same reason as HashTable.
+	b := (hashKey(key) >> a.shift) & a.mask
+	for {
+		addr := a.bucketAddr(b)
+		cnt := a.Mem.Load64(addr + 8)
+		if cnt == 0 {
+			a.Mem.Store64(addr, key)
+			a.Mem.Store64(addr+8, 1)
+			a.Mem.Store64(addr+16, value)
+			return
+		}
+		if a.Mem.Load64(addr) == key {
+			a.Mem.Store64(addr+8, cnt+1)
+			a.Mem.Store64(addr+16, a.Mem.Load64(addr+16)+value)
+			return
+		}
+		b = (b + 1) & a.mask
+	}
+}
+
+// Groups returns (unobserved) the number of non-empty buckets.
+func (a *AggTable) Groups() int64 {
+	var g int64
+	for b := int64(0); b < a.Reg.N; b++ {
+		if getU64(a.Mem.Raw(a.bucketAddr(uint64(b))+8, 8)) != 0 {
+			g++
+		}
+	}
+	return g
+}
+
+// HashAggregate groups in by key modulo groups (key % groups acts as the
+// grouping attribute) and sums the keys per group, returning the
+// aggregation table.
+func HashAggregate(mem *vmem.Memory, in *Table, groups int64) *AggTable {
+	agg := NewAggTable(mem, in.Reg.Name+"_agg", groups)
+	n := in.N()
+	for i := int64(0); i < n; i++ {
+		k := in.Key(i)
+		agg.Add(k%uint64(groups), k)
+	}
+	return agg
+}
+
+// HashDedup writes one representative tuple per distinct key of in to
+// out, returning the number of distinct keys. It uses a hash table as
+// the "seen" set.
+func HashDedup(mem *vmem.Memory, in, out *Table) int64 {
+	h := NewHashTable(mem, in.Reg.Name+"_seen", in.N())
+	var o int64
+	n := in.N()
+	for i := int64(0); i < n; i++ {
+		key := in.Key(i)
+		if h.Lookup(key) < 0 {
+			h.Insert(key, i)
+			out.CopyTuple(o, in, i)
+			o++
+		}
+	}
+	return o
+}
+
+// SortDedup sorts in in place and then writes one tuple per distinct key
+// to out, returning the distinct count. Its pattern is the quick-sort
+// pattern followed by two concurrent sequential traversals.
+func SortDedup(in, out *Table) int64 {
+	QuickSort(in)
+	var o int64
+	n := in.N()
+	var prev uint64
+	for i := int64(0); i < n; i++ {
+		k := in.Key(i)
+		if i == 0 || k != prev {
+			out.CopyTuple(o, in, i)
+			o++
+			prev = k
+		}
+	}
+	return o
+}

@@ -1,0 +1,147 @@
+package engine_test
+
+// Cross-profile validation: the same operators, workloads and pattern
+// descriptions must predict well on a three-data-level x86-style
+// hierarchy too — the model is parameterized by hardware, not fitted to
+// the Origin2000.
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+type xrig struct {
+	mem *vmem.Memory
+	sim *cachesim.Simulator
+	h   *hardware.Hierarchy
+	pad int64
+}
+
+func newXRig() *xrig {
+	h := hardware.ModernX86()
+	r := &xrig{mem: vmem.New(1 << 28), sim: cachesim.New(h), h: h}
+	r.mem.SetObserver(r.sim)
+	r.sim.Freeze()
+	return r
+}
+
+func (r *xrig) table(name string, n, w int64, fill func(*engine.Table)) *engine.Table {
+	r.pad++
+	r.mem.Alloc((r.pad%7+1)*r.h.Levels[0].LineSize, 1)
+	t := engine.NewTable(r.mem, name, n, w, r.h.Levels[0].LineSize)
+	if fill != nil {
+		fill(t)
+	}
+	return t
+}
+
+func TestCrossProfileOperators(t *testing.T) {
+	h := hardware.ModernX86()
+	model := cost.MustNew(h)
+
+	cases := []struct {
+		name string
+		tol  float64
+		run  func(r *xrig) (measured []cachesim.Stats, predicted *cost.Result)
+	}{
+		{
+			name: "scan", tol: 0.10,
+			run: func(r *xrig) ([]cachesim.Stats, *cost.Result) {
+				u := r.table("U", 1<<17, 16, func(tb *engine.Table) {
+					workload.FillUniform(tb, workload.NewRNG(1))
+				})
+				r.sim.Reset()
+				r.sim.Thaw()
+				engine.ScanSum(u, 0)
+				r.sim.Freeze()
+				res, _ := model.Evaluate(engine.ScanPattern(u.Reg, 0))
+				return r.sim.AllStats(), res
+			},
+		},
+		{
+			name: "mergejoin", tol: 0.25,
+			run: func(r *xrig) ([]cachesim.Stats, *cost.Result) {
+				n := int64(1 << 17)
+				u := r.table("U", n, 8, func(tb *engine.Table) { workload.FillSorted(tb) })
+				v := r.table("V", n, 8, func(tb *engine.Table) { workload.FillSorted(tb) })
+				w := r.table("W", n, 8, nil)
+				r.sim.Reset()
+				r.sim.Thaw()
+				engine.MergeJoin(u, v, w)
+				r.sim.Freeze()
+				res, _ := model.Evaluate(engine.MergeJoinPattern(u.Reg, v.Reg, w.Reg))
+				return r.sim.AllStats(), res
+			},
+		},
+		{
+			name: "quicksort", tol: 0.45,
+			run: func(r *xrig) ([]cachesim.Stats, *cost.Result) {
+				u := r.table("U", 1<<17, 8, func(tb *engine.Table) {
+					workload.FillUniform(tb, workload.NewRNG(2))
+				})
+				r.sim.Reset()
+				r.sim.Thaw()
+				engine.QuickSort(u)
+				r.sim.Freeze()
+				res, _ := model.Evaluate(engine.QuickSortPattern(u.Reg, 32<<10))
+				return r.sim.AllStats(), res
+			},
+		},
+		{
+			name: "hashjoin", tol: 0.55,
+			run: func(r *xrig) ([]cachesim.Stats, *cost.Result) {
+				n := int64(1 << 16)
+				u := r.table("U", n, 8, func(tb *engine.Table) {
+					workload.FillPermutation(tb, workload.NewRNG(3))
+				})
+				v := r.table("V", n, 8, func(tb *engine.Table) {
+					workload.FillPermutation(tb, workload.NewRNG(3))
+				})
+				w := r.table("W", n, 8, nil)
+				r.sim.Reset()
+				r.sim.Thaw()
+				engine.HashJoin(r.mem, u, v, w)
+				r.sim.Freeze()
+				hReg := engine.HashRegionFor("H", n)
+				res, _ := model.Evaluate(engine.HashJoinPattern(u.Reg, v.Reg, hReg, w.Reg))
+				return r.sim.AllStats(), res
+			},
+		},
+		{
+			name: "partition", tol: 0.45,
+			run: func(r *xrig) ([]cachesim.Stats, *cost.Result) {
+				n := int64(1 << 17)
+				u := r.table("U", n, 8, func(tb *engine.Table) {
+					workload.FillUniform(tb, workload.NewRNG(4))
+				})
+				r.sim.Reset()
+				r.sim.Thaw()
+				parts := engine.Partition(r.mem, u, "X", 33, engine.HashPartition)
+				r.sim.Freeze()
+				res, _ := model.Evaluate(engine.PartitionPattern(u.Reg, parts.Out.Reg, 33))
+				return r.sim.AllStats(), res
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newXRig()
+			measured, predicted := tc.run(r)
+			for i, lvl := range h.Levels {
+				pred := predicted.PerLevel[i].Misses.Total()
+				meas := float64(measured[i].Misses())
+				if !within(pred, meas, tc.tol, 32) {
+					t.Errorf("%s @%s: predicted %.0f, measured %.0f",
+						tc.name, lvl.Name, pred, meas)
+				}
+			}
+		})
+	}
+}

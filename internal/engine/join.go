@@ -1,0 +1,58 @@
+package engine
+
+// Merge join and nested-loop join — the two joins whose patterns are pure
+// traversals: merge join is three concurrent sequential traversals, a
+// nested-loop join is a sequential outer traversal concurrent with a
+// repetitive (uni-directional) traversal of the inner.
+
+// MergeJoin joins the sorted inputs u and v and writes matching pairs to
+// out, returning the match count. Both inputs must be key-sorted; with
+// duplicate keys it emits the full cross product per key group.
+func MergeJoin(u, v, out *Table) int64 {
+	var o int64
+	nu, nv := u.N(), v.N()
+	var i, j int64
+	for i < nu && j < nv {
+		ku, kv := u.Key(i), v.Key(j)
+		switch {
+		case ku < kv:
+			i++
+		case ku > kv:
+			j++
+		default:
+			// Emit the group cross product.
+			jEnd := j
+			for jEnd < nv && v.Key(jEnd) == ku {
+				jEnd++
+			}
+			for ; i < nu && u.Key(i) == ku; i++ {
+				for jj := j; jj < jEnd; jj++ {
+					v.TouchTuple(jj, 0)
+					out.CopyTuple(o, u, i)
+					o++
+				}
+			}
+			j = jEnd
+		}
+	}
+	return o
+}
+
+// NestedLoopJoin scans the outer u once and, for every outer tuple,
+// sweeps the whole inner v, emitting matches to out. It returns the
+// match count. Quadratic — only sensible for small inners, which is
+// exactly the trade-off the cost model is meant to expose.
+func NestedLoopJoin(u, v, out *Table) int64 {
+	var o int64
+	nu, nv := u.N(), v.N()
+	for i := int64(0); i < nu; i++ {
+		ku := u.Key(i)
+		for j := int64(0); j < nv; j++ {
+			if v.Key(j) == ku {
+				out.CopyTuple(o, u, i)
+				o++
+			}
+		}
+	}
+	return o
+}

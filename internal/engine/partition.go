@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/region"
+	"repro/internal/vmem"
+)
+
+// Radix/hash partitioning and the partitioned hash-join built on it
+// (Shatdal et al. 1994; Manegold/Boncz/Kersten 2000), the paper's remedy
+// for the cache-miss explosion of plain hash-join on large inputs.
+
+// Partitions is the result of partitioning a table: one contiguous output
+// area holding m clusters, each a sub-region of the parent output region.
+type Partitions struct {
+	Out    *Table   // the whole output area (region X)
+	Tables []*Table // per-cluster views, contiguous within Out
+	M      int64
+}
+
+// PartitionFunc maps a key to a cluster index in [0, m).
+type PartitionFunc func(key uint64, m int64) int64
+
+// HashPartition assigns clusters by hash (uniform, order-destroying —
+// the paper's "global cursor picks regions randomly").
+func HashPartition(key uint64, m int64) int64 {
+	return int64(hashKey(key) % uint64(m))
+}
+
+// RadixPartition assigns clusters by the low bits of the key; m must be a
+// power of two.
+func RadixPartition(key uint64, m int64) int64 {
+	return int64(key & uint64(m-1))
+}
+
+// Partition splits in into m clusters inside a freshly allocated output
+// area. The input is traversed sequentially; each tuple is appended to
+// its cluster's cursor — the interleaved multi-cursor pattern
+// nest(X, m, s_trav(X_j), rnd) of the paper.
+//
+// Cluster sizes are determined by an unobserved counting pass, so the
+// observed trace contains exactly the modeled single partitioning pass.
+func Partition(mem *vmem.Memory, in *Table, name string, m int64, f PartitionFunc) *Partitions {
+	if m <= 0 {
+		panic(fmt.Sprintf("engine: non-positive partition count %d", m))
+	}
+	n, w := in.N(), in.W()
+
+	// Unobserved histogram pass to size the clusters exactly.
+	counts := make([]int64, m)
+	for i := int64(0); i < n; i++ {
+		counts[f(in.RawKey(i), m)]++
+	}
+
+	out := NewTable(mem, name, n, w, w)
+	parent := out.Reg
+
+	// Carve per-cluster tables out of the contiguous output area.
+	tables := make([]*Table, m)
+	cursors := make([]int64, m)
+	var off int64
+	for j := int64(0); j < m; j++ {
+		r := region.New(fmt.Sprintf("%s_%d", name, j), counts[j], w)
+		r.Parent = parent
+		r.Base = int64(out.Base) + off*w
+		tables[j] = &Table{Mem: mem, Reg: r, Base: out.Base + vmem.Addr(off*w)}
+		off += counts[j]
+	}
+
+	// The observed partitioning pass.
+	for i := int64(0); i < n; i++ {
+		j := f(in.Key(i), m)
+		tables[j].CopyTuple(cursors[j], in, i)
+		cursors[j]++
+	}
+	return &Partitions{Out: out, Tables: tables, M: m}
+}
+
+// PartitionedHashJoin partitions u and v into m matching clusters with
+// the same partition function, then hash-joins each cluster pair,
+// appending all matches to out. It returns the match count.
+func PartitionedHashJoin(mem *vmem.Memory, u, v, out *Table, m int64, f PartitionFunc) int64 {
+	pu := Partition(mem, u, u.Reg.Name+"p", m, f)
+	pv := Partition(mem, v, v.Reg.Name+"p", m, f)
+	return JoinPartitions(mem, pu, pv, out)
+}
+
+// JoinPartitions hash-joins matching cluster pairs of two compatible
+// partitionings, appending results to out.
+func JoinPartitions(mem *vmem.Memory, pu, pv *Partitions, out *Table) int64 {
+	if pu.M != pv.M {
+		panic("engine: partition counts differ")
+	}
+	var o int64
+	for j := int64(0); j < pu.M; j++ {
+		uj, vj := pu.Tables[j], pv.Tables[j]
+		if uj.N() == 0 || vj.N() == 0 {
+			continue
+		}
+		h := BuildHash(mem, vj.Reg.Name+"_hash", vj)
+		nu := uj.N()
+		for i := int64(0); i < nu; i++ {
+			if row := h.Lookup(uj.Key(i)); row >= 0 {
+				out.CopyTuple(o, uj, i)
+				o++
+			}
+		}
+	}
+	return o
+}

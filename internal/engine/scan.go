@@ -1,0 +1,62 @@
+package engine
+
+// Unary streaming operators: table scan, selection, projection. They all
+// traverse their input sequentially; selection and projection also write
+// an output sequentially (the paper's Table 2 patterns).
+
+// ScanSum performs a full table scan, reading u bytes of every tuple
+// (0 = whole tuple) and returning the sum of all keys — an aggregate that
+// forces the traversal without any output region.
+func ScanSum(t *Table, u int64) uint64 {
+	var sum uint64
+	n := t.N()
+	if u > 0 && u < KeyWidth {
+		// The caller wants fewer bytes than the key; touch that many but
+		// do not decode a key.
+		for i := int64(0); i < n; i++ {
+			t.TouchTuple(i, u)
+		}
+		return 0
+	}
+	for i := int64(0); i < n; i++ {
+		sum += t.Key(i)
+		if u <= 0 || u > KeyWidth {
+			rest := t.W() - KeyWidth
+			if u > 0 {
+				rest = u - KeyWidth
+			}
+			if rest > 0 {
+				t.Mem.Touch(t.Addr(i)+KeyWidth, rest)
+			}
+		}
+	}
+	return sum
+}
+
+// Select copies every tuple of in whose key satisfies pred into out,
+// returning the number of qualifying tuples. Out must have capacity for
+// all of them and at least the input width.
+func Select(in, out *Table, pred func(uint64) bool) int64 {
+	var o int64
+	n := in.N()
+	for i := int64(0); i < n; i++ {
+		if pred(in.Key(i)) {
+			out.CopyTuple(o, in, i)
+			o++
+		}
+	}
+	return o
+}
+
+// Project copies u bytes of every input tuple into the (narrower) output
+// table; out.W() must equal u and u ≥ KeyWidth so keys survive.
+func Project(in, out *Table, u int64) {
+	if out.W() != u {
+		panic("engine: Project output width must equal u")
+	}
+	n := in.N()
+	for i := int64(0); i < n; i++ {
+		// CopyTuple touches exactly u = out.W() bytes of the input tuple.
+		out.CopyTuple(i, in, i)
+	}
+}

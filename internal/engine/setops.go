@@ -1,0 +1,107 @@
+package engine
+
+// Sorted-merge set operations. The paper notes that "the appropriate
+// treatment of union, intersection and set-difference can be derived
+// respectively" from the join discussion: all three sweep both sorted
+// inputs once and write one sequential output — the merge-join pattern
+// shape with different output cardinalities.
+
+// MergeUnion writes the sorted set union of the key-sorted inputs u and
+// v into out (duplicates across and within inputs collapse to one
+// representative tuple). It returns the result cardinality.
+func MergeUnion(u, v, out *Table) int64 {
+	var o int64
+	nu, nv := u.N(), v.N()
+	var i, j int64
+	emit := func(src *Table, idx int64) {
+		k := src.RawKey(idx)
+		if o > 0 && getU64(out.Mem.Raw(out.Addr(o-1), KeyWidth)) == k {
+			// Collapse duplicates; the source tuple was already read.
+			return
+		}
+		out.CopyTuple(o, src, idx)
+		o++
+	}
+	for i < nu && j < nv {
+		ku, kv := u.Key(i), v.Key(j)
+		switch {
+		case ku < kv:
+			emit(u, i)
+			i++
+		case ku > kv:
+			emit(v, j)
+			j++
+		default:
+			emit(u, i)
+			i++
+			j++
+			v.TouchTuple(j-1, 0)
+		}
+	}
+	for ; i < nu; i++ {
+		_ = u.Key(i)
+		emit(u, i)
+	}
+	for ; j < nv; j++ {
+		_ = v.Key(j)
+		emit(v, j)
+	}
+	return o
+}
+
+// MergeIntersect writes the sorted set intersection of the key-sorted
+// inputs into out, returning its cardinality. Duplicate keys contribute
+// one output tuple.
+func MergeIntersect(u, v, out *Table) int64 {
+	var o int64
+	nu, nv := u.N(), v.N()
+	var i, j int64
+	for i < nu && j < nv {
+		ku, kv := u.Key(i), v.Key(j)
+		switch {
+		case ku < kv:
+			i++
+		case ku > kv:
+			j++
+		default:
+			out.CopyTuple(o, u, i)
+			o++
+			// Skip duplicate key groups on both sides.
+			for i < nu && u.Key(i) == ku {
+				i++
+			}
+			for j < nv && v.Key(j) == kv {
+				j++
+			}
+		}
+	}
+	return o
+}
+
+// MergeDifference writes the sorted set difference u − v (keys of u not
+// present in v) into out, returning its cardinality. Duplicate keys of u
+// contribute one output tuple.
+func MergeDifference(u, v, out *Table) int64 {
+	var o int64
+	nu, nv := u.N(), v.N()
+	var i, j int64
+	for i < nu {
+		ku := u.Key(i)
+		for j < nv && v.Key(j) < ku {
+			j++
+		}
+		if j < nv && v.Key(j) == ku {
+			// Present in v: skip u's whole key group.
+			for i < nu && u.Key(i) == ku {
+				i++
+			}
+			continue
+		}
+		out.CopyTuple(o, u, i)
+		o++
+		for i < nu && u.Key(i) == ku {
+			i++
+		}
+	}
+	return o
+}

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func fillKeys(t *Table, keys []uint64) {
+	for i, k := range keys {
+		t.SetRawKey(int64(i), k)
+	}
+}
+
+func resultKeys(t *Table, n int64) []uint64 {
+	out := make([]uint64, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = t.RawKey(i)
+	}
+	return out
+}
+
+func checkKeys(t *testing.T, got []uint64, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func setOpTables(t *testing.T, uk, vk []uint64) (*Table, *Table, *Table) {
+	t.Helper()
+	mem := newMem()
+	u := NewTable(mem, "U", int64(len(uk)), 8, 32)
+	v := NewTable(mem, "V", int64(len(vk)), 8, 32)
+	out := NewTable(mem, "W", int64(len(uk)+len(vk)), 8, 32)
+	fillKeys(u, uk)
+	fillKeys(v, vk)
+	return u, v, out
+}
+
+func TestMergeUnion(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{1, 3, 5, 7}, []uint64{2, 3, 6, 7, 9})
+	n := MergeUnion(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{1, 2, 3, 5, 6, 7, 9})
+}
+
+func TestMergeUnionWithDuplicates(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{1, 1, 2}, []uint64{2, 2, 3})
+	n := MergeUnion(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{1, 2, 3})
+}
+
+func TestMergeUnionDisjoint(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{1, 2}, []uint64{10, 20})
+	n := MergeUnion(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{1, 2, 10, 20})
+}
+
+func TestMergeUnionEmptySides(t *testing.T) {
+	u, v, out := setOpTables(t, nil, []uint64{4, 5})
+	n := MergeUnion(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{4, 5})
+	u2, v2, out2 := setOpTables(t, []uint64{4, 5}, nil)
+	n2 := MergeUnion(u2, v2, out2)
+	checkKeys(t, resultKeys(out2, n2), []uint64{4, 5})
+}
+
+func TestMergeIntersect(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{1, 3, 5, 7, 9}, []uint64{3, 4, 7, 10})
+	n := MergeIntersect(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{3, 7})
+}
+
+func TestMergeIntersectDuplicates(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{2, 2, 3, 3}, []uint64{2, 3, 3})
+	n := MergeIntersect(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{2, 3})
+}
+
+func TestMergeIntersectDisjoint(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{1, 2}, []uint64{3, 4})
+	if n := MergeIntersect(u, v, out); n != 0 {
+		t.Errorf("intersection of disjoint sets = %d", n)
+	}
+}
+
+func TestMergeDifference(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{1, 3, 5, 7}, []uint64{3, 7, 9})
+	n := MergeDifference(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{1, 5})
+}
+
+func TestMergeDifferenceDuplicates(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{1, 1, 2, 3, 3}, []uint64{2})
+	n := MergeDifference(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{1, 3})
+}
+
+func TestMergeDifferenceEmptyV(t *testing.T) {
+	u, v, out := setOpTables(t, []uint64{5, 6}, nil)
+	n := MergeDifference(u, v, out)
+	checkKeys(t, resultKeys(out, n), []uint64{5, 6})
+}
+
+// TestSetOpAlgebra cross-checks |U∪V| = |U'|+|V'|−|U'∩V'| on dedup'ed
+// random sets.
+func TestSetOpAlgebra(t *testing.T) {
+	mem := newMem()
+	rng := workload.NewRNG(9)
+	mkSet := func(name string, n int64, seedStep uint64) *Table {
+		raw := NewTable(mem, name+"r", n, 8, 32)
+		for i := int64(0); i < n; i++ {
+			raw.SetRawKey(i, rng.Uint64()%200) // small domain: overlaps guaranteed
+		}
+		QuickSort(raw)
+		ded := NewTable(mem, name, n, 8, 32)
+		k := int64(0)
+		var prev uint64
+		for i := int64(0); i < n; i++ {
+			v := raw.RawKey(i)
+			if i == 0 || v != prev {
+				ded.SetRawKey(k, v)
+				k++
+				prev = v
+			}
+		}
+		ded.Reg.N = k
+		return ded
+	}
+	u := mkSet("U", 300, 1)
+	v := mkSet("V", 300, 2)
+	union := NewTable(mem, "Un", 600, 8, 32)
+	inter := NewTable(mem, "In", 600, 8, 32)
+	nu, nv := u.N(), v.N()
+	nUnion := MergeUnion(u, v, union)
+	nInter := MergeIntersect(u, v, inter)
+	if nUnion != nu+nv-nInter {
+		t.Errorf("|U∪V|=%d but |U|+|V|−|U∩V| = %d+%d−%d", nUnion, nu, nv, nInter)
+	}
+	diff := NewTable(mem, "Df", 600, 8, 32)
+	nDiff := MergeDifference(u, v, diff)
+	if nDiff != nu-nInter {
+		t.Errorf("|U−V|=%d, want %d", nDiff, nu-nInter)
+	}
+}

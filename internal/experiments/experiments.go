@@ -1,0 +1,218 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the characteristic-parameter tables (Tables 1 and 3), the
+// pattern-language table (Table 2), the alignment study (Figures 4 and
+// 5), the region-geometry study (Figure 6), and the five operator
+// validation experiments (Figures 7a–7e).
+//
+// Each experiment produces a Report pairing the cost model's per-level
+// predictions with the cache simulator's measurements for the same run —
+// the role the MIPS R10000 hardware counters play in the paper. Reports
+// render as aligned text or CSV.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+// Config controls experiment scale and determinism.
+type Config struct {
+	// Hier is the hardware profile (default Origin2000).
+	Hier *hardware.Hierarchy
+	// MaxSize bounds the largest relation in bytes (default 16 MB; the
+	// paper sweeps to 128 MB on real hardware — the simulator trades
+	// absolute scale for exact counters, keeping every capacity
+	// crossover of the profile in range).
+	MaxSize int64
+	// Seed drives all workload generation.
+	Seed uint64
+	// Quick shrinks point sets for tests.
+	Quick bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Hier == nil {
+		c.Hier = hardware.Origin2000()
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 16 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Report is one rendered experiment: a header, string-valued rows and
+// explanatory notes.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Render writes an aligned text table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+}
+
+// CSV writes comma-separated values.
+func (r *Report) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(r.Header, ","))
+	for _, row := range r.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Generator produces one experiment report.
+type Generator func(Config) *Report
+
+// Registry maps experiment IDs to their generators, in paper order.
+func Registry() []struct {
+	ID  string
+	Gen Generator
+} {
+	return []struct {
+		ID  string
+		Gen Generator
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"fig4", Fig4},
+		{"fig5a", Fig5a},
+		{"fig5b", Fig5b},
+		{"fig6a", Fig6a},
+		{"fig6b", Fig6b},
+		{"fig6c", Fig6c},
+		{"fig6d", Fig6d},
+		{"fig7a", Fig7a},
+		{"fig7b", Fig7b},
+		{"fig7c", Fig7c},
+		{"fig7d", Fig7d},
+		{"fig7e", Fig7e},
+	}
+}
+
+// Lookup returns the generator for an experiment ID.
+func Lookup(id string) (Generator, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Gen, true
+		}
+	}
+	return nil, false
+}
+
+// IDs lists all experiment IDs.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rig bundles the simulated machine for one experiment run.
+type rig struct {
+	mem *vmem.Memory
+	sim *cachesim.Simulator
+	h   *hardware.Hierarchy
+	rng *workload.RNG
+	pad int64
+}
+
+// newRig builds a frozen rig with the given memory budget.
+func newRig(cfg Config, memBytes int64) *rig {
+	r := &rig{
+		mem: vmem.New(memBytes),
+		sim: cachesim.New(cfg.Hier),
+		h:   cfg.Hier,
+		rng: workload.NewRNG(cfg.Seed),
+	}
+	r.mem.SetObserver(r.sim)
+	r.sim.Freeze()
+	return r
+}
+
+// table allocates a base-staggered table and fills it (unobserved).
+func (r *rig) table(name string, n, w int64, fill func(workload.Keyed, *workload.RNG)) *engine.Table {
+	r.pad++
+	r.mem.Alloc((r.pad%7+1)*r.h.Levels[0].LineSize, 1)
+	t := engine.NewTable(r.mem, name, n, w, r.h.Levels[0].LineSize)
+	if fill != nil {
+		fill(t, r.rng)
+	}
+	return t
+}
+
+// measure runs op with counters enabled and returns per-level stats and
+// the latency-scored memory time.
+func (r *rig) measure(op func()) ([]cachesim.Stats, float64) {
+	r.sim.Reset()
+	r.sim.Thaw()
+	op()
+	r.sim.Freeze()
+	return r.sim.AllStats(), r.sim.MemoryTimeNS()
+}
+
+// formatting helpers
+
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e7:
+		return fmt.Sprintf("%.2fe6", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func fmtMS(ns float64) string { return fmt.Sprintf("%.2f", ns/1e6) }
+
+func fmtBytes(n int64) string { return hardware.FormatBytes(n) }

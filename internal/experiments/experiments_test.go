@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Quick: true, MaxSize: 1 << 20, Seed: 7}.withDefaults()
+}
+
+// cell parses a fmtCount-rendered cell back to a float.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "e6"):
+		mult, s = 1e6, strings.TrimSuffix(s, "e6")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1e3, strings.TrimSuffix(s, "k")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("unparseable cell %q", s)
+	}
+	return v * mult
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "fig4", "fig5a", "fig5b",
+		"fig6a", "fig6b", "fig6c", "fig6d", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("phantom experiment found")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Header: []string{"a", "b"}, Notes: []string{"note"}}
+	r.AddRow("1", "2")
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"# x — t", "# note", "a", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	r.CSV(&buf)
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestTable1ListsAllLevels(t *testing.T) {
+	rep := Table1(quickCfg())
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	for _, want := range []string{"L1", "L2", "TLB", "C_i", "B_i"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2ContainsPaperPatterns(t *testing.T) {
+	rep := Table2(quickCfg())
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"s_trav(U)",
+		"r_trav(H)",
+		"r_acc(1000, H)",
+		"nest(X, 8, s_trav(X_j), rnd)",
+		"rs_trav(1000, uni, V)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3CalibratorMatchesProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-MB calibration sweeps")
+	}
+	rep := Table3(Config{Seed: 7}.withDefaults())
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	// The discovered rows must reproduce the profile's capacities.
+	for _, want := range []string{"32kB", "4MB", "1MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4AlignmentAverage(t *testing.T) {
+	rep := Fig4(quickCfg())
+	if len(rep.Rows) == 0 {
+		t.Fatal("fig4 empty")
+	}
+	for _, row := range rep.Rows {
+		meas := cell(t, row[3])
+		pred := cell(t, row[4])
+		if meas != pred {
+			t.Errorf("fig4 u=%s: measured avg %.4f != model %.4f", row[0], meas, pred)
+		}
+	}
+}
+
+func TestFig5PredictionWithinAlignmentBand(t *testing.T) {
+	rep := Fig5a(quickCfg())
+	for _, row := range rep.Rows {
+		a0, am1 := cell(t, row[1]), cell(t, row[2])
+		pred := cell(t, row[5])
+		lo, hi := a0, am1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if pred < lo-1 || pred > hi+1 {
+			t.Errorf("fig5a u=%s: prediction %.0f outside alignment band [%.0f, %.0f]",
+				row[0], pred, lo, hi)
+		}
+		// Measured average within 12% of prediction.
+		avg := cell(t, row[3])
+		if rel(avg, pred) > 0.12 {
+			t.Errorf("fig5a u=%s: avg %.0f vs pred %.0f", row[0], avg, pred)
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+func TestFig6STravSizeInvariance(t *testing.T) {
+	// Paper Fig. 6a: for w ≤ B the s_trav miss count depends only on ‖R‖.
+	rep := Fig6a(quickCfg())
+	if len(rep.Rows) < 2 {
+		t.Fatal("fig6a too small")
+	}
+	// Rows are w values; columns pairs (meas, pred) per size. For w=8
+	// and w=32 the measured counts per size must agree.
+	r8, r32 := rep.Rows[0], rep.Rows[1]
+	for c := 1; c < len(r8); c += 2 {
+		if r8[c] == "-" || r32[c] == "-" {
+			continue
+		}
+		if rel(cell(t, r8[c]), cell(t, r32[c])) > 0.02 {
+			t.Errorf("fig6a: s_trav misses vary with w: %s vs %s", r8[c], r32[c])
+		}
+	}
+}
+
+func TestFig6RTravCapacityBlowup(t *testing.T) {
+	// Paper Fig. 6c/6d: r_trav over a region larger than the cache
+	// produces (far) more misses than over a cache-resident one, at
+	// equal w.
+	rep := Fig6c(quickCfg()) // sizes 16kB (≤ C1? no, > 32kB? 16kB < 32kB L1) and 64kB
+	row := rep.Rows[0]       // w = 8
+	small := cell(t, row[1]) // 16kB ≤ C1
+	large := cell(t, row[3]) // 64kB > C1
+	// 4x the data with > 4x the misses indicates the capacity blowup.
+	if large < 5*small {
+		t.Errorf("fig6c: no capacity blowup: 16kB→%.0f misses, 64kB→%.0f", small, large)
+	}
+}
+
+func TestFig7aQuicksortShape(t *testing.T) {
+	rep := Fig7a(quickCfg())
+	if len(rep.Rows) < 2 {
+		t.Fatal("fig7a too small")
+	}
+	// Model tracks measurement at every level within 50%.
+	assertModelTracks(t, rep, 0.5)
+}
+
+func TestFig7bMergeJoinShape(t *testing.T) {
+	rep := Fig7b(quickCfg())
+	assertModelTracks(t, rep, 0.3)
+	// Sequential cost proportional to size: 4x data → ≈4x L2 misses.
+	first, last := rep.Rows[0], rep.Rows[len(rep.Rows)-1]
+	m1, m2 := cell(t, first[3]), cell(t, last[3])
+	ratio := m2 / m1
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("fig7b: L2 misses not ∝ size: ratio %.2f", ratio)
+	}
+}
+
+func TestFig7cHashJoinShape(t *testing.T) {
+	rep := Fig7c(quickCfg())
+	assertModelTracks(t, rep, 0.55)
+}
+
+func TestFig7dPartitionShape(t *testing.T) {
+	rep := Fig7d(quickCfg())
+	assertModelTracks(t, rep, 0.55)
+	// TLB misses must grow sharply once m exceeds the 64-entry TLB.
+	var mSmall, mLarge float64
+	for _, row := range rep.Rows {
+		m := cell(t, row[0])
+		tlbMeas := cell(t, row[5])
+		if m == 2 {
+			mSmall = tlbMeas
+		}
+		if m == 4096 {
+			mLarge = tlbMeas
+		}
+	}
+	if mLarge < 5*mSmall {
+		t.Errorf("fig7d: no TLB knee: m=2 → %.0f TLB misses, m=4096 → %.0f", mSmall, mLarge)
+	}
+}
+
+func TestFig7ePartitioningPaysOff(t *testing.T) {
+	cfg := quickCfg()
+	rep := Fig7e(cfg)
+	if len(rep.Rows) < 2 {
+		t.Fatal("fig7e too small")
+	}
+	// Clusters fitting the caches must reduce L2 misses versus the
+	// plain hash join (m=1 row) on an input exceeding L2.
+	plain := cell(t, rep.Rows[0][3])
+	part := cell(t, rep.Rows[len(rep.Rows)-1][3])
+	if part >= plain {
+		t.Errorf("fig7e: partitioned join L2 misses %.0f not below plain %.0f", part, plain)
+	}
+}
+
+// assertModelTracks checks measured-vs-predicted per level on every row.
+func assertModelTracks(t *testing.T, rep *Report, tol float64) {
+	t.Helper()
+	levels := (len(rep.Header) - 3) / 2
+	for _, row := range rep.Rows {
+		for l := 0; l < levels; l++ {
+			meas := cell(t, row[1+2*l])
+			pred := cell(t, row[2+2*l])
+			if meas < 64 && pred < 64 {
+				continue // tiny counts: absolute noise
+			}
+			if rel(meas, pred) > tol {
+				t.Errorf("%s %s: %s meas %.0f vs pred %.0f",
+					rep.ID, row[0], rep.Header[1+2*l], meas, pred)
+			}
+		}
+	}
+}

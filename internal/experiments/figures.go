@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/driver"
+	"repro/internal/pattern"
+	"repro/internal/region"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+// Fig4 demonstrates the alignment effect of Figure 4: an access of u
+// consecutive bytes touches one extra cache line for (u−1) mod B of the
+// B possible alignments. Measured by issuing a single access per offset
+// against a cold simulator.
+func Fig4(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	b := cfg.Hier.Levels[0].LineSize
+	us := []int64{1, 8, b / 2, b - 1, b, b + 1}
+	r := &Report{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Impact of alignment on lines touched (L1, B=%d)", b),
+		Header: []string{"u", "offsets->1line", "offsets->2lines", "avg lines/access", "model (Eq. 4.3 term)"},
+	}
+	for _, u := range us {
+		one, two := 0, 0
+		var total int64
+		for off := int64(0); off < b; off++ {
+			rg := newRig(cfg, 1<<16)
+			rg.sim.Thaw()
+			rg.mem.Touch(vmem.Addr(off), u)
+			m := rg.sim.Stats(0).Misses()
+			total += int64(m)
+			switch m {
+			case 1:
+				one++
+			default:
+				two++
+			}
+		}
+		model := float64(ceilDiv(u, b)) + float64((u-1)%b)/float64(b)
+		r.AddRow(fmt.Sprintf("%d", u), fmt.Sprintf("%d", one), fmt.Sprintf("%d", two),
+			fmt.Sprintf("%.4f", float64(total)/float64(b)), fmt.Sprintf("%.4f", model))
+	}
+	return r
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// fig5 measures a traversal over R(n, w=256) for varying u at one cache
+// level: align=0 and align=B−1 extremes, the average over alignments,
+// and the model prediction (Eqs. 4.2/4.3 — identical counts for
+// r_trav's 4.4/4.5 in this geometry).
+func fig5(cfg Config, id, levelName string, levelIdx int) *Report {
+	cfg = cfg.withDefaults()
+	const w = 256
+	n := int64(16384) // ‖R‖ = 4 MB
+	if cfg.Quick {
+		n = 2048
+	}
+	b := cfg.Hier.Levels[levelIdx].LineSize
+	model := cost.MustNew(cfg.Hier)
+
+	us := []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if cfg.Quick {
+		us = []int64{1, 8, 64, 256}
+	}
+	alignStep := b / 8
+	if alignStep < 1 {
+		alignStep = 1
+	}
+
+	r := &Report{
+		ID:    id,
+		Title: fmt.Sprintf("%s misses vs bytes used per item (s_trav/r_trav, R.n=%d, R.w=%d)", levelName, n, w),
+		Header: []string{"u", "s.align0", "s.align-1", "s.avg", "r.avg",
+			"pred.s", "pred.r"},
+		Notes: []string{"pred.s/pred.r: Eqs. 4.2–4.5; measured averages over base alignments"},
+	}
+
+	run := func(u, offset int64, random bool, seed uint64) float64 {
+		rg := newRig(cfg, int64(n*w)+1<<16)
+		reg := region.New("R", n, w)
+		driver.MaterializeAt(rg.mem, reg, b, offset)
+		rg.sim.Thaw()
+		var p pattern.Pattern
+		if random {
+			p = pattern.RTrav{R: reg, U: u}
+		} else {
+			p = pattern.STrav{R: reg, U: u}
+		}
+		driver.Run(rg.mem, workload.NewRNG(seed), p)
+		return float64(rg.sim.Stats(levelIdx).Misses())
+	}
+
+	for _, u := range us {
+		align0 := run(u, 0, false, cfg.Seed)
+		alignM1 := run(u, b-1, false, cfg.Seed)
+		var sSum, rSum float64
+		count := 0
+		for off := int64(0); off < b; off += alignStep {
+			sSum += run(u, off, false, cfg.Seed)
+			rSum += run(u, off, true, cfg.Seed+uint64(off))
+			count++
+		}
+		reg := region.New("R", n, w)
+		resS, _ := model.Evaluate(pattern.STrav{R: reg, U: u})
+		resR, _ := model.Evaluate(pattern.RTrav{R: reg, U: u})
+		r.AddRow(fmt.Sprintf("%d", u),
+			fmtCount(align0), fmtCount(alignM1),
+			fmtCount(sSum/float64(count)), fmtCount(rSum/float64(count)),
+			fmtCount(resS.PerLevel[levelIdx].Misses.Total()),
+			fmtCount(resR.PerLevel[levelIdx].Misses.Total()))
+	}
+	return r
+}
+
+// Fig5a is the L1 panel of Figure 5.
+func Fig5a(cfg Config) *Report { return fig5(cfg, "fig5a", "L1", 0) }
+
+// Fig5b is the L2 panel of Figure 5.
+func Fig5b(cfg Config) *Report { return fig5(cfg, "fig5b", "L2", 1) }
+
+// fig6 measures misses vs item width w for several region sizes at one
+// level, for either s_trav or r_trav (the four panels of Figure 6).
+func fig6(cfg Config, id, levelName string, levelIdx int, random bool, sizes []int64) *Report {
+	cfg = cfg.withDefaults()
+	model := cost.MustNew(cfg.Hier)
+	ws := []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if cfg.Quick {
+		ws = []int64{8, 32, 256}
+	}
+	kind := "s_trav"
+	if random {
+		kind = "r_trav"
+	}
+	header := []string{"R.w"}
+	for _, sz := range sizes {
+		header = append(header, fmt.Sprintf("meas@%s", fmtBytes(sz)), fmt.Sprintf("pred@%s", fmtBytes(sz)))
+	}
+	r := &Report{
+		ID:     id,
+		Title:  fmt.Sprintf("%s misses vs item size (%s)", levelName, kind),
+		Header: header,
+	}
+	for _, w := range ws {
+		row := []string{fmt.Sprintf("%d", w)}
+		for _, sz := range sizes {
+			n := sz / w
+			if n < 1 {
+				row = append(row, "-", "-")
+				continue
+			}
+			reg := region.New("R", n, w)
+			rg := newRig(cfg, sz+(1<<16))
+			driver.Materialize(rg.mem, reg, cfg.Hier.Levels[0].LineSize)
+			rg.sim.Thaw()
+			var p pattern.Pattern
+			if random {
+				p = pattern.RTrav{R: reg}
+			} else {
+				p = pattern.STrav{R: reg}
+			}
+			driver.Run(rg.mem, workload.NewRNG(cfg.Seed), p)
+			meas := float64(rg.sim.Stats(levelIdx).Misses())
+			res, _ := model.Evaluate(p)
+			row = append(row, fmtCount(meas), fmtCount(res.PerLevel[levelIdx].Misses.Total()))
+		}
+		r.AddRow(row...)
+	}
+	return r
+}
+
+// fig6SizesL1 returns the paper's L1 panel region sizes (16–64 kB).
+func fig6SizesL1(cfg Config) []int64 {
+	if cfg.Quick {
+		return []int64{16 << 10, 64 << 10}
+	}
+	return []int64{16 << 10, 24 << 10, 32 << 10, 40 << 10, 64 << 10}
+}
+
+// fig6SizesL2 returns the paper's L2 panel region sizes (2–16 MB),
+// clipped to the configured maximum.
+func fig6SizesL2(cfg Config) []int64 {
+	if cfg.Quick {
+		return []int64{2 << 20, 8 << 20}
+	}
+	all := []int64{2 << 20, 6 << 20, 8 << 20, 12 << 20, 16 << 20}
+	var out []int64
+	for _, s := range all {
+		if s <= cfg.MaxSize {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig6a: L1 misses of s_trav vs item size.
+func Fig6a(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	return fig6(cfg, "fig6a", "L1", 0, false, fig6SizesL1(cfg))
+}
+
+// Fig6b: L2 misses of s_trav vs item size.
+func Fig6b(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	return fig6(cfg, "fig6b", "L2", 1, false, fig6SizesL2(cfg))
+}
+
+// Fig6c: L1 misses of r_trav vs item size.
+func Fig6c(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	return fig6(cfg, "fig6c", "L1", 0, true, fig6SizesL1(cfg))
+}
+
+// Fig6d: L2 misses of r_trav vs item size.
+func Fig6d(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	return fig6(cfg, "fig6d", "L2", 1, true, fig6SizesL2(cfg))
+}

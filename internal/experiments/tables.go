@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/calibrate"
+	"repro/internal/engine"
+	"repro/internal/region"
+)
+
+// Table1 renders the characteristic parameters per cache level (the
+// paper's Table 1), instantiated with the configured profile's values so
+// every derived quantity (lines, bandwidths) is visible.
+func Table1(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	r := &Report{
+		ID:     "table1",
+		Title:  "Characteristic parameters per cache level",
+		Header: []string{"description", "unit", "symbol"},
+		Notes:  []string{"instantiated for " + cfg.Hier.Name + " below"},
+	}
+	r.AddRow("cache name (level)", "-", "i")
+	r.AddRow("cache capacity", "[bytes]", "C_i")
+	r.AddRow("cache block size", "[bytes]", "B_i")
+	r.AddRow("number of cache lines", "-", "#_i = C_i/B_i")
+	r.AddRow("cache associativity", "-", "A_i")
+	r.AddRow("seq. miss latency", "[ns]", "l^s_i")
+	r.AddRow("seq. miss bandwidth", "[bytes/ns]", "b^s_i = B_i/l^s_i")
+	r.AddRow("rnd. miss latency", "[ns]", "l^r_i")
+	r.AddRow("rnd. miss bandwidth", "[bytes/ns]", "b^r_i = B_i/l^r_i")
+	r.AddRow("", "", "")
+	for _, l := range cfg.Hier.Levels {
+		assoc := fmt.Sprintf("%d-way", l.Ways())
+		if l.FullyAssociative() {
+			assoc = "full"
+		}
+		r.AddRow(
+			l.Name,
+			fmt.Sprintf("C=%s B=%d #=%d %s", fmtBytes(l.Capacity), l.LineSize, l.Lines(), assoc),
+			fmt.Sprintf("l^s=%.0fns l^r=%.0fns b^s=%.2f b^r=%.2f",
+				l.SeqMissLatency, l.RndMissLatency, l.SeqMissBandwidth(), l.RndMissBandwidth()),
+		)
+	}
+	return r
+}
+
+// Table2 renders the paper's Table 2: the data access patterns of the
+// engine's database algorithms in the pattern language, for symbolic
+// relations U, V of n tuples.
+func Table2(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	n := int64(1000)
+	u := region.New("U", n, 16)
+	v := region.New("V", n, 16)
+	w := region.New("W", n, 16)
+	h := engine.HashRegionFor("H", n)
+	agg := engine.AggRegionFor("A", 100)
+	r := &Report{
+		ID:     "table2",
+		Title:  "Sample data access patterns (pattern language)",
+		Header: []string{"algorithm", "pattern"},
+		Notes:  []string{"(+) is the paper's ⊕ (sequential execution), (.) its ⊙ (concurrent execution)"},
+	}
+	r.AddRow("scan(U)", engine.ScanPattern(u, 0).String())
+	r.AddRow("select(U)", engine.SelectPattern(u, w).String())
+	r.AddRow("project(U,u=8)", engine.ProjectPattern(u, w, 8).String())
+	r.AddRow("quick_sort(U)", "(+)_{i<ld n} (.)_{j<=2^i} [s_trav(U/2^{i+1}) (.) s_trav(U/2^{i+1})]")
+	r.AddRow("nl_join(U,V,W)", engine.NestedLoopJoinPattern(u, v, w).String())
+	r.AddRow("m_join(U,V,W)", engine.MergeJoinPattern(u, v, w).String())
+	r.AddRow("hash_build(V,H)", engine.HashBuildPattern(v, h).String())
+	r.AddRow("hash_probe(U,H,W)", engine.HashProbePattern(u, h, w).String())
+	r.AddRow("h_join(U,V,W)", engine.HashJoinPattern(u, v, h, w).String())
+	r.AddRow("partition(U,X,m)", engine.PartitionPattern(u, region.New("X", n, 16), 8).String())
+	r.AddRow("hash_aggr(U,A)", engine.HashAggregatePattern(u, agg).String())
+	r.AddRow("part_h_join(U,V,W)", "partition(U,X,m) (+) partition(V,Y,m) (+) (+)_{j<m} h_join(X_j,Y_j,W_j)")
+	return r
+}
+
+// Table3 runs the simulated calibrator against the configured profile
+// and renders discovered vs true parameters — the paper's Table 3, with
+// the calibration method proven exact on the simulator.
+func Table3(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	var outer int64
+	for _, l := range cfg.Hier.Levels {
+		if l.Capacity > outer {
+			outer = l.Capacity
+		}
+	}
+	res := calibrate.Simulated(cfg.Hier, 4*outer)
+	r := &Report{
+		ID:     "table3",
+		Title:  "Hardware characteristics: calibrator output vs profile (" + cfg.Hier.Name + ")",
+		Header: []string{"level", "capacity", "line", "seq-lat[ns]", "rnd-lat[ns]"},
+		Notes:  []string{"top: discovered by the simulated Calibrator; bottom: ground truth"},
+	}
+	for i, l := range res.Levels {
+		r.AddRow(fmt.Sprintf("measured-%d", i+1), fmtBytes(l.Capacity),
+			fmt.Sprintf("%d", l.LineSize),
+			fmt.Sprintf("%.1f", l.SeqLatency), fmt.Sprintf("%.1f", l.RndLatency))
+	}
+	r.AddRow("", "", "", "", "")
+	for _, l := range cfg.Hier.Levels {
+		r.AddRow("true "+l.Name, fmtBytes(l.Capacity),
+			fmt.Sprintf("%d", l.LineSize),
+			fmt.Sprintf("%.1f", l.SeqMissLatency), fmt.Sprintf("%.1f", l.RndMissLatency))
+	}
+	return r
+}

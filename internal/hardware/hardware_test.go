@@ -1,0 +1,207 @@
+package hardware
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLevelDerivedValues(t *testing.T) {
+	l := Level{
+		Name:           "L1",
+		Capacity:       32 << 10,
+		LineSize:       32,
+		Associativity:  2,
+		SeqMissLatency: 8,
+		RndMissLatency: 24,
+	}
+	if got := l.Lines(); got != 1024 {
+		t.Errorf("Lines() = %d, want 1024", got)
+	}
+	if got := l.Sets(); got != 512 {
+		t.Errorf("Sets() = %d, want 512", got)
+	}
+	if got := l.Ways(); got != 2 {
+		t.Errorf("Ways() = %d, want 2", got)
+	}
+	if l.FullyAssociative() {
+		t.Error("2-way 1024-line cache reported fully associative")
+	}
+	if got := l.SeqMissBandwidth(); got != 4 {
+		t.Errorf("SeqMissBandwidth() = %g, want 4 bytes/ns", got)
+	}
+	if got := l.RndMissBandwidth(); got != 32.0/24 {
+		t.Errorf("RndMissBandwidth() = %g, want %g", got, 32.0/24)
+	}
+}
+
+func TestLevelFullyAssociative(t *testing.T) {
+	l := Level{Name: "TLB", Capacity: 64 * 16384, LineSize: 16384, Associativity: 0, TLB: true}
+	if got := l.Ways(); got != 64 {
+		t.Errorf("Ways() = %d, want 64 for fully associative", got)
+	}
+	if !l.FullyAssociative() {
+		t.Error("associativity 0 should mean fully associative")
+	}
+	if got := l.SeqMissBandwidth(); got != 0 {
+		t.Errorf("TLB bandwidth should be 0, got %g", got)
+	}
+}
+
+func TestMissLatencyByKind(t *testing.T) {
+	l := Level{SeqMissLatency: 8, RndMissLatency: 24}
+	if got := l.MissLatency(Sequential); got != 8 {
+		t.Errorf("MissLatency(Sequential) = %g, want 8", got)
+	}
+	if got := l.MissLatency(Random); got != 24 {
+		t.Errorf("MissLatency(Random) = %g, want 24", got)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Sequential.String() != "seq" || Random.String() != "rnd" {
+		t.Errorf("AccessKind strings wrong: %q %q", Sequential, Random)
+	}
+}
+
+func TestLevelValidateErrors(t *testing.T) {
+	good := Level{Name: "L1", Capacity: 1024, LineSize: 32, Associativity: 2,
+		SeqMissLatency: 1, RndMissLatency: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid level rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Level)
+	}{
+		{"empty name", func(l *Level) { l.Name = "" }},
+		{"zero capacity", func(l *Level) { l.Capacity = 0 }},
+		{"zero line", func(l *Level) { l.LineSize = 0 }},
+		{"capacity not multiple", func(l *Level) { l.Capacity = 1000 }},
+		{"negative assoc", func(l *Level) { l.Associativity = -1 }},
+		{"assoc not divisor", func(l *Level) { l.Associativity = 3 }},
+		{"negative latency", func(l *Level) { l.SeqMissLatency = -1 }},
+		{"rnd below seq", func(l *Level) { l.RndMissLatency = 0.5 }},
+	}
+	for _, tc := range cases {
+		l := good
+		tc.mutate(&l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	for name, mk := range Profiles() {
+		h := mk()
+		if err := h.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestHierarchyValidateMonotonicity(t *testing.T) {
+	h := Origin2000()
+	// Shrink L2 below L1: must fail.
+	h.Levels[1].Capacity = 16 << 10
+	h.Levels[1].LineSize = 128
+	if err := h.Validate(); err == nil {
+		t.Error("expected monotonicity violation for shrunken L2")
+	}
+}
+
+func TestHierarchyValidateEmpty(t *testing.T) {
+	h := &Hierarchy{Name: "empty"}
+	if err := h.Validate(); err == nil {
+		t.Error("expected error for hierarchy without levels")
+	}
+}
+
+func TestOrigin2000MatchesTable3(t *testing.T) {
+	h := Origin2000()
+	l1, ok := h.LevelByName("L1")
+	if !ok || l1.Capacity != 32<<10 || l1.LineSize != 32 || l1.Lines() != 1024 {
+		t.Errorf("L1 does not match Table 3: %+v", l1)
+	}
+	l2, ok := h.LevelByName("L2")
+	if !ok || l2.Capacity != 4<<20 || l2.LineSize != 128 || l2.Lines() != 32768 {
+		t.Errorf("L2 does not match Table 3: %+v", l2)
+	}
+	tlb, ok := h.LevelByName("TLB")
+	if !ok || tlb.Lines() != 64 || tlb.LineSize != 16<<10 || tlb.Capacity != 1<<20 {
+		t.Errorf("TLB does not match Table 3: %+v", tlb)
+	}
+	if l1.SeqMissLatency != 8 || l1.RndMissLatency != 24 {
+		t.Errorf("L1 latencies wrong: %+v", l1)
+	}
+	if l2.SeqMissLatency != 188 || l2.RndMissLatency != 400 {
+		t.Errorf("L2 latencies wrong: %+v", l2)
+	}
+	if tlb.SeqMissLatency != 228 {
+		t.Errorf("TLB latency wrong: %+v", tlb)
+	}
+	if h.CyclesToNS(57) != 228 {
+		t.Errorf("57 cycles at 250 MHz should be 228 ns, got %g", h.CyclesToNS(57))
+	}
+}
+
+func TestDataAndTLBLevels(t *testing.T) {
+	h := Origin2000()
+	if got := h.DataLevels(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("DataLevels() = %v, want [0 1]", got)
+	}
+	if got := h.TLBLevels(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("TLBLevels() = %v, want [2]", got)
+	}
+}
+
+func TestDiskExtendedValidates(t *testing.T) {
+	h := DiskExtended(64<<20, 16<<10)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("disk-extended hierarchy invalid: %v", err)
+	}
+	if h.NumLevels() != 4 {
+		t.Errorf("NumLevels() = %d, want 4", h.NumLevels())
+	}
+	bp, ok := h.LevelByName("BP")
+	if !ok {
+		t.Fatal("BP level missing")
+	}
+	if bp.RndMissLatency <= bp.SeqMissLatency {
+		t.Error("disk random latency must exceed sequential")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{32, "32B"},
+		{1 << 10, "1kB"},
+		{32 << 10, "32kB"},
+		{4 << 20, "4MB"},
+		{1 << 30, "1GB"},
+		{1500, "1500B"},
+	}
+	for _, tc := range cases {
+		if got := FormatBytes(tc.n); got != tc.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestHierarchyString(t *testing.T) {
+	s := Origin2000().String()
+	for _, want := range []string{"SGI Origin2000", "L1", "L2", "TLB", "32kB", "4MB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLevelByNameMissing(t *testing.T) {
+	if _, ok := Origin2000().LevelByName("L9"); ok {
+		t.Error("LevelByName should report missing level")
+	}
+}

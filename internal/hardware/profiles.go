@@ -1,0 +1,156 @@
+package hardware
+
+// This file provides ready-made hardware profiles. Origin2000 reproduces
+// the paper's Table 3 exactly; the others are plausible hierarchies used
+// by tests and examples to check that the model is not overfitted to one
+// machine.
+
+// Origin2000 returns the SGI Origin2000 profile of the paper's Table 3:
+// MIPS R10000 at 250 MHz, 32 kB L1 (32-byte lines), 4 MB L2 (128-byte
+// lines), 64-entry TLB with 16 kB pages.
+//
+// The paper reports per-level miss latencies: sequential 8 ns (L1) and
+// 188 ns (L2); random 24 ns (L1) and 400 ns (L2); TLB miss 228 ns.
+func Origin2000() *Hierarchy {
+	return &Hierarchy{
+		Name:    "SGI Origin2000",
+		ClockNS: 4.0, // 250 MHz
+		Levels: []Level{
+			{
+				Name:           "L1",
+				Capacity:       32 << 10,
+				LineSize:       32,
+				Associativity:  2,
+				SeqMissLatency: 8,
+				RndMissLatency: 24,
+			},
+			{
+				Name:           "L2",
+				Capacity:       4 << 20,
+				LineSize:       128,
+				Associativity:  2,
+				SeqMissLatency: 188,
+				RndMissLatency: 400,
+			},
+			{
+				Name:           "TLB",
+				Capacity:       64 * (16 << 10), // 64 entries x 16 kB pages = 1 MB
+				LineSize:       16 << 10,
+				Associativity:  0, // fully associative
+				SeqMissLatency: 228,
+				RndMissLatency: 228,
+				TLB:            true,
+			},
+		},
+	}
+}
+
+// SmallTest returns a tiny hierarchy that tests use so that cache effects
+// (capacity exhaustion, conflict misses, TLB knees) appear at workload
+// sizes a unit test can afford: 1 kB L1 with 32-byte lines, 8 kB L2 with
+// 64-byte lines, 8-entry TLB with 256-byte pages.
+func SmallTest() *Hierarchy {
+	return &Hierarchy{
+		Name:    "small-test",
+		ClockNS: 1.0,
+		Levels: []Level{
+			{
+				Name:           "L1",
+				Capacity:       1 << 10,
+				LineSize:       32,
+				Associativity:  2,
+				SeqMissLatency: 4,
+				RndMissLatency: 10,
+			},
+			{
+				Name:           "L2",
+				Capacity:       8 << 10,
+				LineSize:       64,
+				Associativity:  4,
+				SeqMissLatency: 40,
+				RndMissLatency: 100,
+			},
+			{
+				Name:           "TLB",
+				Capacity:       8 * 256,
+				LineSize:       256,
+				Associativity:  0,
+				SeqMissLatency: 60,
+				RndMissLatency: 60,
+				TLB:            true,
+			},
+		},
+	}
+}
+
+// ModernX86 returns a three-data-level hierarchy loosely modeled on a
+// 2000s-era x86 server: 32 kB L1, 256 kB L2, 8 MB L3, 64-byte lines
+// throughout, 64-entry TLB with 4 kB pages.
+func ModernX86() *Hierarchy {
+	return &Hierarchy{
+		Name:    "modern-x86",
+		ClockNS: 0.5, // 2 GHz
+		Levels: []Level{
+			{
+				Name:           "L1",
+				Capacity:       32 << 10,
+				LineSize:       64,
+				Associativity:  8,
+				SeqMissLatency: 3,
+				RndMissLatency: 7,
+			},
+			{
+				Name:           "L2",
+				Capacity:       256 << 10,
+				LineSize:       64,
+				Associativity:  8,
+				SeqMissLatency: 10,
+				RndMissLatency: 20,
+			},
+			{
+				Name:           "L3",
+				Capacity:       8 << 20,
+				LineSize:       64,
+				Associativity:  16,
+				SeqMissLatency: 30,
+				RndMissLatency: 90,
+			},
+			{
+				Name:           "TLB",
+				Capacity:       64 * (4 << 10),
+				LineSize:       4 << 10,
+				Associativity:  0,
+				SeqMissLatency: 100,
+				RndMissLatency: 100,
+				TLB:            true,
+			},
+		},
+	}
+}
+
+// DiskExtended returns the Origin2000 profile extended with a "buffer
+// pool as cache for disk" level, demonstrating the paper's claim that the
+// unified model covers I/O: main memory acts as a cache with page-sized
+// lines in front of a disk with millisecond random latency.
+func DiskExtended(bufferPool int64, pageSize int64) *Hierarchy {
+	h := Origin2000()
+	h.Name = "SGI Origin2000 + disk"
+	h.Levels = append(h.Levels, Level{
+		Name:           "BP", // buffer pool, backed by disk
+		Capacity:       bufferPool,
+		LineSize:       pageSize,
+		Associativity:  0,
+		SeqMissLatency: float64(pageSize) / 0.05,     // ~50 MB/s sequential scan per page
+		RndMissLatency: 8e6 + float64(pageSize)/0.05, // 8 ms seek + transfer
+	})
+	return h
+}
+
+// Profiles returns the named built-in profiles.
+func Profiles() map[string]func() *Hierarchy {
+	return map[string]func() *Hierarchy{
+		"origin2000": Origin2000,
+		"small-test": SmallTest,
+		"modern-x86": ModernX86,
+	}
+}

@@ -1,0 +1,409 @@
+package pattern
+
+// A parser for the pattern language, so tools (cmd/costmodel) can accept
+// textual pattern descriptions like those in the paper's Table 2:
+//
+//	s_trav(U) (.) r_acc(1000, H) (.) s_trav(W)
+//	s_trav(V) (.) r_trav(H) (+) [s_trav(U) (.) s_trav(W)]
+//	nest(X, 64, s_trav(X_j), rnd)
+//
+// Grammar (whitespace-insensitive):
+//
+//	expr   := term   { "(+)" term }          sequential execution ⊕
+//	term   := factor { "(.)" factor }        concurrent execution ⊙
+//	factor := basic | "[" expr "]"
+//	basic  := s_trav[~](R [, u=N])
+//	        | rs_trav[~](N, uni|bi, R [, u=N])
+//	        | r_trav(R [, u=N])
+//	        | rr_trav(N, R [, u=N])
+//	        | r_acc(N, R [, u=N])
+//	        | nest(R, N, inner, rnd|uni|bi)
+//	inner  := s_trav[~](ID [, u=N]) | r_trav(ID [, u=N]) | r_acc(N, ID [, u=N])
+//
+// Region identifiers are resolved against a caller-supplied map. The
+// inner region identifier of a nest is conventionally "<R>_j" and is not
+// resolved (the sub-regions are derived from R).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/region"
+)
+
+// Parse parses a pattern expression, resolving region names through
+// regions.
+func Parse(input string, regions map[string]*region.Region) (Pattern, error) {
+	p := &parser{toks: tokenize(input), regions: regions}
+	pat, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("pattern: trailing input at %q", p.peek())
+	}
+	if err := Validate(pat); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+// tokenize splits the input into tokens: identifiers/numbers, the
+// operators "(+)" and "(.)", brackets, parentheses, commas and "=".
+func tokenize(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case strings.HasPrefix(s[i:], "(+)"):
+			toks = append(toks, "(+)")
+			i += 3
+		case strings.HasPrefix(s[i:], "(.)"):
+			toks = append(toks, "(.)")
+			i += 3
+		case c == '(' || c == ')' || c == '[' || c == ']' || c == ',' || c == '=':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n()[],=", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks    []string
+	pos     int
+	regions map[string]*region.Region
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return "<eof>"
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		return fmt.Errorf("pattern: expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (p *parser) parseExpr() (Pattern, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	seq := Seq{first}
+	for !p.eof() && p.peek() == "(+)" {
+		p.next()
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, t)
+	}
+	if len(seq) == 1 {
+		return seq[0], nil
+	}
+	return seq, nil
+}
+
+func (p *parser) parseTerm() (Pattern, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	conc := Conc{first}
+	for !p.eof() && p.peek() == "(.)" {
+		p.next()
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		conc = append(conc, f)
+	}
+	if len(conc) == 1 {
+		return conc[0], nil
+	}
+	return conc, nil
+}
+
+func (p *parser) parseFactor() (Pattern, error) {
+	if p.peek() == "[" {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseBasic()
+}
+
+// parseBasic parses one basic pattern invocation.
+func (p *parser) parseBasic() (Pattern, error) {
+	name := p.next()
+	noSeq := strings.HasSuffix(name, "~")
+	base := strings.TrimSuffix(name, "~")
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	switch base {
+	case "s_trav":
+		r, u, err := p.regionAndU(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return STrav{R: r, U: u, NoSeq: noSeq}, nil
+	case "rs_trav":
+		if len(args) < 3 {
+			return nil, fmt.Errorf("pattern: rs_trav needs (repeats, dir, R)")
+		}
+		n, err := parseCount(args[0])
+		if err != nil {
+			return nil, err
+		}
+		dir, err := parseDir(args[1])
+		if err != nil {
+			return nil, err
+		}
+		r, u, err := p.regionAndU(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		return RSTrav{R: r, U: u, Repeats: n, Dir: dir, NoSeq: noSeq}, nil
+	case "r_trav":
+		r, u, err := p.regionAndU(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return RTrav{R: r, U: u}, nil
+	case "rr_trav":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("pattern: rr_trav needs (repeats, R)")
+		}
+		n, err := parseCount(args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, u, err := p.regionAndU(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return RRTrav{R: r, U: u, Repeats: n}, nil
+	case "r_acc":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("pattern: r_acc needs (count, R)")
+		}
+		n, err := parseCount(args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, u, err := p.regionAndU(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return RAcc{R: r, U: u, Count: n}, nil
+	case "nest":
+		return p.buildNest(args)
+	default:
+		return nil, fmt.Errorf("pattern: unknown pattern %q", name)
+	}
+}
+
+// arg is one parsed argument: either a plain token or an inner basic
+// pattern call rendered back to tokens.
+type arg struct {
+	text  string
+	inner *innerCall
+}
+
+type innerCall struct {
+	name string
+	args []arg
+}
+
+// parseArgs parses a parenthesized, comma-separated argument list,
+// allowing one level of nested calls (for nest's inner pattern) and
+// "u=N" annotations.
+func (p *parser) parseArgs() ([]arg, error) {
+	var args []arg
+	for {
+		if p.eof() {
+			return nil, fmt.Errorf("pattern: unterminated argument list")
+		}
+		tok := p.next()
+		switch tok {
+		case ")":
+			return args, nil
+		case ",":
+			continue
+		default:
+			// "u = N" annotation?
+			if !p.eof() && p.peek() == "=" {
+				p.next()
+				val := p.next()
+				args = append(args, arg{text: tok + "=" + val})
+				continue
+			}
+			// Inner call?
+			if !p.eof() && p.peek() == "(" {
+				p.next()
+				innerArgs, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, arg{inner: &innerCall{name: tok, args: innerArgs}})
+				continue
+			}
+			args = append(args, arg{text: tok})
+		}
+	}
+}
+
+// regionAndU extracts a region argument at index i plus an optional
+// trailing "u=N".
+func (p *parser) regionAndU(args []arg, i int) (*region.Region, int64, error) {
+	if i >= len(args) || args[i].inner != nil {
+		return nil, 0, fmt.Errorf("pattern: missing region argument")
+	}
+	r, ok := p.regions[args[i].text]
+	if !ok {
+		return nil, 0, fmt.Errorf("pattern: unknown region %q", args[i].text)
+	}
+	var u int64
+	for _, a := range args[i+1:] {
+		if a.inner != nil {
+			continue
+		}
+		if strings.HasPrefix(a.text, "u=") {
+			v, err := strconv.ParseInt(strings.TrimPrefix(a.text, "u="), 10, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("pattern: bad u annotation %q", a.text)
+			}
+			u = v
+		}
+	}
+	return r, u, nil
+}
+
+// buildNest assembles nest(R, m, inner(...), order).
+func (p *parser) buildNest(args []arg) (Pattern, error) {
+	if len(args) < 4 {
+		return nil, fmt.Errorf("pattern: nest needs (R, m, inner, order)")
+	}
+	r, ok := p.regions[args[0].text]
+	if !ok {
+		return nil, fmt.Errorf("pattern: unknown region %q", args[0].text)
+	}
+	m, err := parseCount(args[1])
+	if err != nil {
+		return nil, err
+	}
+	in := args[2].inner
+	if in == nil {
+		return nil, fmt.Errorf("pattern: nest inner must be a pattern call, got %q", args[2].text)
+	}
+	ord, err := parseOrder(args[3])
+	if err != nil {
+		return nil, err
+	}
+	n := Nest{R: r, M: m, Order: ord}
+	base := strings.TrimSuffix(in.name, "~")
+	n.NoSeq = strings.HasSuffix(in.name, "~")
+	switch base {
+	case "s_trav":
+		n.Inner = InnerSTrav
+		n.U = innerU(in.args)
+	case "r_trav":
+		n.Inner = InnerRTrav
+		n.U = innerU(in.args)
+	case "r_acc":
+		if len(in.args) < 1 {
+			return nil, fmt.Errorf("pattern: nest r_acc inner needs a count")
+		}
+		c, err := parseCount(in.args[0])
+		if err != nil {
+			return nil, err
+		}
+		n.Inner = InnerRAcc
+		n.Count = c
+		n.U = innerU(in.args)
+	default:
+		return nil, fmt.Errorf("pattern: unsupported nest inner %q", in.name)
+	}
+	return n, nil
+}
+
+func innerU(args []arg) int64 {
+	for _, a := range args {
+		if a.inner == nil && strings.HasPrefix(a.text, "u=") {
+			if v, err := strconv.ParseInt(strings.TrimPrefix(a.text, "u="), 10, 64); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+func parseCount(a arg) (int64, error) {
+	if a.inner != nil {
+		return 0, fmt.Errorf("pattern: expected a number")
+	}
+	v, err := strconv.ParseInt(a.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pattern: bad count %q", a.text)
+	}
+	return v, nil
+}
+
+func parseDir(a arg) (Direction, error) {
+	switch a.text {
+	case "uni":
+		return Uni, nil
+	case "bi":
+		return Bi, nil
+	default:
+		return 0, fmt.Errorf("pattern: bad direction %q (want uni|bi)", a.text)
+	}
+}
+
+func parseOrder(a arg) (Order, error) {
+	switch a.text {
+	case "rnd":
+		return OrderRandom, nil
+	case "uni":
+		return OrderUni, nil
+	case "bi":
+		return OrderBi, nil
+	default:
+		return 0, fmt.Errorf("pattern: bad order %q (want rnd|uni|bi)", a.text)
+	}
+}

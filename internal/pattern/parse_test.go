@@ -1,0 +1,164 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/region"
+)
+
+func testRegions() map[string]*region.Region {
+	return map[string]*region.Region{
+		"U": region.New("U", 1000, 16),
+		"V": region.New("V", 500, 8),
+		"H": region.New("H", 2048, 16),
+		"W": region.New("W", 1000, 16),
+		"X": region.New("X", 1000, 8),
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	regs := testRegions()
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"s_trav(U)", "s_trav(U)"},
+		{"s_trav(U, u=8)", "s_trav(U, u=8)"},
+		{"s_trav~(U)", "s_trav~(U)"},
+		{"rs_trav(5, bi, V)", "rs_trav(5, bi, V)"},
+		{"rs_trav(3, uni, V, u=4)", "rs_trav(3, uni, V, u=4)"},
+		{"r_trav(H)", "r_trav(H)"},
+		{"rr_trav(3, H)", "rr_trav(3, H)"},
+		{"r_acc(1000, H)", "r_acc(1000, H)"},
+		{"r_acc(1000, H, u=8)", "r_acc(1000, H, u=8)"},
+		{"nest(X, 8, s_trav(X_j), rnd)", "nest(X, 8, s_trav(X_j), rnd)"},
+		{"nest(X, 4, r_trav(X_j), uni)", "nest(X, 4, r_trav(X_j), uni)"},
+		{"nest(X, 4, r_acc(7, X_j), bi)", "nest(X, 4, r_acc(7, X_j), bi)"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.in, regs)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := p.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseCompounds(t *testing.T) {
+	regs := testRegions()
+	cases := []string{
+		"s_trav(U) (.) s_trav(V) (.) s_trav(W)",
+		"s_trav(V) (.) r_trav(H) (+) s_trav(U) (.) r_acc(1000, H) (.) s_trav(W)",
+		"[s_trav(U) (+) s_trav(V)] (.) r_trav(H)",
+		"s_trav(U) (+) s_trav(U) (+) s_trav(U)",
+	}
+	for _, in := range cases {
+		p, err := Parse(in, regs)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		// Round-trip: the rendering must reparse to the same rendering.
+		q, err := Parse(p.String(), regs)
+		if err != nil {
+			t.Errorf("reparse of %q (%q): %v", in, p.String(), err)
+			continue
+		}
+		if q.String() != p.String() {
+			t.Errorf("round trip changed %q -> %q", p.String(), q.String())
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	regs := testRegions()
+	// ⊙ binds tighter than ⊕: a (+) b (.) c is Seq{a, Conc{b, c}}.
+	p, err := Parse("s_trav(U) (+) s_trav(V) (.) s_trav(W)", regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, ok := p.(Seq)
+	if !ok || len(seq) != 2 {
+		t.Fatalf("top level = %T %v, want 2-element Seq", p, p)
+	}
+	if _, ok := seq[1].(Conc); !ok {
+		t.Errorf("second element = %T, want Conc", seq[1])
+	}
+}
+
+func TestParseBracketsOverridePrecedence(t *testing.T) {
+	regs := testRegions()
+	p, err := Parse("[s_trav(U) (+) s_trav(V)] (.) s_trav(W)", regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, ok := p.(Conc)
+	if !ok || len(conc) != 2 {
+		t.Fatalf("top level = %T, want 2-element Conc", p)
+	}
+	if _, ok := conc[0].(Seq); !ok {
+		t.Errorf("first element = %T, want Seq", conc[0])
+	}
+}
+
+func TestParseResolvesSharedRegions(t *testing.T) {
+	regs := testRegions()
+	p, err := Parse("s_trav(H) (+) r_trav(H)", regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := p.Regions()
+	if len(rs) != 1 || rs[0] != regs["H"] {
+		t.Error("both references must resolve to the same region object")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	regs := testRegions()
+	bad := []string{
+		"",
+		"s_trav(Q)",                         // unknown region
+		"s_trav(U",                          // unterminated
+		"wat(U)",                            // unknown pattern
+		"rs_trav(2, sideways, U)",           // bad direction
+		"nest(X, 8, s_trav(X_j), diagonal)", // bad order
+		"nest(X, 8, X_j, rnd)",              // inner not a call
+		"r_acc(many, H)",                    // bad count
+		"s_trav(U) s_trav(V)",               // missing operator
+		"rr_trav(0, H)",                     // zero repeats (Validate)
+		"s_trav(U, u=999)",                  // u beyond width (Validate)
+	}
+	for _, in := range bad {
+		if _, err := Parse(in, regs); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseTable2RoundTrip(t *testing.T) {
+	// Every basic pattern's String() must reparse to an equal rendering.
+	regs := testRegions()
+	pats := []Pattern{
+		STrav{R: regs["U"]},
+		STrav{R: regs["U"], U: 8, NoSeq: true},
+		RSTrav{R: regs["V"], Repeats: 9, Dir: Bi},
+		RTrav{R: regs["H"], U: 4},
+		RRTrav{R: regs["H"], Repeats: 2},
+		RAcc{R: regs["H"], Count: 77},
+		Nest{R: regs["X"], M: 16, Inner: InnerSTrav, Order: OrderBi},
+		Seq{STrav{R: regs["U"]}, Conc{STrav{R: regs["V"]}, RTrav{R: regs["H"]}}},
+	}
+	for _, p := range pats {
+		q, err := Parse(p.String(), regs)
+		if err != nil {
+			t.Errorf("reparse %q: %v", p.String(), err)
+			continue
+		}
+		if q.String() != p.String() {
+			t.Errorf("round trip %q -> %q", p.String(), q.String())
+		}
+	}
+}

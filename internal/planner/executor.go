@@ -1,0 +1,76 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/engine"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+// Executor runs chosen join plans on the simulated engine, so the
+// planner's predicted ranking can be verified against measured memory
+// time — closing the loop the paper's evaluation closes with hardware
+// counters.
+type Executor struct {
+	Mem *vmem.Memory
+	Sim *cachesim.Simulator
+}
+
+// NewExecutor creates an executor with the given simulated-memory budget
+// on the planner's hierarchy.
+func NewExecutor(pl *Planner, memBytes int64) *Executor {
+	mem := vmem.New(memBytes)
+	sim := cachesim.New(pl.hier)
+	mem.SetObserver(sim)
+	sim.Freeze()
+	return &Executor{Mem: mem, Sim: sim}
+}
+
+// MaterializeJoinInputs creates and fills the two physical tables for a
+// join according to their logical descriptions (1:1 permutation keys, or
+// sorted keys when the relation is declared sorted).
+func (e *Executor) MaterializeJoinInputs(u, v Relation, seed uint64) (*engine.Table, *engine.Table) {
+	rng := workload.NewRNG(seed)
+	ut := engine.NewTable(e.Mem, u.Name, u.Tuples, u.Width, 32)
+	vt := engine.NewTable(e.Mem, v.Name, v.Tuples, v.Width, 32)
+	if u.Sorted {
+		workload.FillSorted(ut)
+	} else {
+		workload.FillPermutation(ut, rng)
+	}
+	if v.Sorted {
+		workload.FillSorted(vt)
+	} else {
+		workload.FillPermutation(vt, rng)
+	}
+	return ut, vt
+}
+
+// RunJoin executes the plan's algorithm on the materialized inputs and
+// returns (matches, measured memory time in ns).
+func (e *Executor) RunJoin(p Plan, ut, vt *engine.Table, outCap int64) (int64, float64, error) {
+	out := engine.NewTable(e.Mem, "W", outCap, ut.W(), 32)
+	e.Sim.Reset()
+	e.Sim.Thaw()
+	defer e.Sim.Freeze()
+	var matches int64
+	switch p.Algorithm {
+	case NestedLoopJoin:
+		matches = engine.NestedLoopJoin(ut, vt, out)
+	case MergeJoin:
+		matches = engine.MergeJoin(ut, vt, out)
+	case SortMergeJoin:
+		engine.QuickSort(ut)
+		engine.QuickSort(vt)
+		matches = engine.MergeJoin(ut, vt, out)
+	case HashJoin:
+		matches = engine.HashJoin(e.Mem, ut, vt, out)
+	case PartitionedHashJoin:
+		matches = engine.PartitionedHashJoin(e.Mem, ut, vt, out, p.Fanout, engine.HashPartition)
+	default:
+		return 0, 0, fmt.Errorf("planner: cannot execute %s", p.Algorithm)
+	}
+	return matches, e.Sim.MemoryTimeNS(), nil
+}

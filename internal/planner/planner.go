@@ -1,0 +1,301 @@
+// Package planner is a miniature cost-based physical optimizer built on
+// the paper's cost model — the consumer the model was designed for. A
+// logical operation (join, sort, group-by, distinct) plus the logical
+// data volumes (cardinalities and widths, which the paper assumes a
+// perfect oracle provides) is expanded into candidate physical plans;
+// each candidate's data access pattern is evaluated by the cost model on
+// the target hardware; the cheapest plan wins.
+//
+// The planner can also execute the chosen plan on the simulated engine,
+// so tests can verify that the predicted ranking matches measured
+// reality.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+)
+
+// Relation describes an input's logical properties.
+type Relation struct {
+	Name   string
+	Tuples int64
+	Width  int64 // bytes per tuple, ≥ engine.KeyWidth
+	Sorted bool  // key-sorted, enabling merge algorithms without a sort
+}
+
+// Region returns the relation's data-region descriptor.
+func (r Relation) Region() *region.Region {
+	return region.New(r.Name, r.Tuples, r.Width)
+}
+
+// Algorithm identifies a physical operator implementation.
+type Algorithm string
+
+// The planner's physical algorithm inventory.
+const (
+	NestedLoopJoin      Algorithm = "nested-loop-join"
+	MergeJoin           Algorithm = "merge-join"
+	SortMergeJoin       Algorithm = "sort-merge-join"
+	HashJoin            Algorithm = "hash-join"
+	PartitionedHashJoin Algorithm = "partitioned-hash-join"
+	QuickSort           Algorithm = "quick-sort"
+	HashAggregate       Algorithm = "hash-aggregate"
+	SortAggregate       Algorithm = "sort-aggregate"
+	HashDistinct        Algorithm = "hash-distinct"
+	SortDistinct        Algorithm = "sort-distinct"
+)
+
+// Plan is one costed physical alternative.
+type Plan struct {
+	Algorithm Algorithm
+	Pattern   pattern.Pattern
+	// Fanout is the partition count for partitioned algorithms.
+	Fanout int64
+	// MemNS is the predicted memory access time (Eq. 3.1).
+	MemNS float64
+	// CPUNS is the estimated pure CPU time (Eq. 6.1's T_cpu).
+	CPUNS float64
+}
+
+// TotalNS returns the predicted total time (Eq. 6.1).
+func (p Plan) TotalNS() float64 { return p.MemNS + p.CPUNS }
+
+// String renders "algorithm: T=... (mem ..., cpu ...)".
+func (p Plan) String() string {
+	return fmt.Sprintf("%-22s T=%8.2fms (mem %8.2fms, cpu %8.2fms)",
+		p.Algorithm, p.TotalNS()/1e6, p.MemNS/1e6, p.CPUNS/1e6)
+}
+
+// Planner costs candidate plans on one hardware profile.
+type Planner struct {
+	model *cost.Model
+	hier  *hardware.Hierarchy
+	// cpu holds per-tuple CPU cost constants (ns); see DefaultCPU.
+	cpu CPUCosts
+}
+
+// CPUCosts are the per-tuple T_cpu constants per algorithm step.
+type CPUCosts struct {
+	Compare   float64 // one key comparison + cursor advance
+	Hash      float64 // hash + bucket access
+	Move      float64 // copy one tuple
+	Partition float64 // hash + cluster append
+}
+
+// DefaultCPU returns constants in line with the experiments package.
+func DefaultCPU() CPUCosts {
+	return CPUCosts{Compare: 20, Hash: 100, Move: 20, Partition: 50}
+}
+
+// New creates a planner for the hierarchy.
+func New(h *hardware.Hierarchy) (*Planner, error) {
+	m, err := cost.New(h)
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{model: m, hier: h, cpu: DefaultCPU()}, nil
+}
+
+// SetCPUCosts overrides the CPU constants.
+func (pl *Planner) SetCPUCosts(c CPUCosts) { pl.cpu = c }
+
+// minCapacity returns the smallest cache capacity (quick-sort pruning).
+func (pl *Planner) minCapacity() int64 {
+	min := pl.hier.Levels[0].Capacity
+	for _, l := range pl.hier.Levels {
+		if l.Capacity < min {
+			min = l.Capacity
+		}
+	}
+	return min
+}
+
+// candidateFanouts for partitioned algorithms: around the TLB entry
+// count and L1/L2 line budgets.
+func (pl *Planner) candidateFanouts() []int64 {
+	return []int64{16, 64, 256}
+}
+
+// cost evaluates a pattern, panicking only on programming errors.
+func (pl *Planner) costOf(p pattern.Pattern) (float64, error) {
+	res, err := pl.model.Evaluate(p)
+	if err != nil {
+		return 0, err
+	}
+	return res.MemoryTimeNS(), nil
+}
+
+// JoinPlans enumerates and costs the physical alternatives of an
+// equi-join U ⋈ V with the given estimated output cardinality, sorted
+// cheapest first.
+func (pl *Planner) JoinPlans(u, v Relation, outTuples int64) ([]Plan, error) {
+	ur, vr := u.Region(), v.Region()
+	out := region.New("W", outTuples, u.Width)
+	nU, nV := float64(u.Tuples), float64(v.Tuples)
+	var plans []Plan
+
+	add := func(alg Algorithm, p pattern.Pattern, fanout int64, cpu float64) error {
+		mem, err := pl.costOf(p)
+		if err != nil {
+			return err
+		}
+		plans = append(plans, Plan{Algorithm: alg, Pattern: p, Fanout: fanout, MemNS: mem, CPUNS: cpu})
+		return nil
+	}
+
+	// Nested loop: always applicable.
+	if err := add(NestedLoopJoin,
+		engine.NestedLoopJoinPattern(ur, vr, out), 0,
+		pl.cpu.Compare*nU*nV+pl.cpu.Move*float64(outTuples)); err != nil {
+		return nil, err
+	}
+
+	// Merge join: directly if both sorted, else behind explicit sorts.
+	if u.Sorted && v.Sorted {
+		if err := add(MergeJoin,
+			engine.MergeJoinPattern(ur, vr, out), 0,
+			pl.cpu.Compare*(nU+nV)+pl.cpu.Move*float64(outTuples)); err != nil {
+			return nil, err
+		}
+	} else {
+		sortCPU := func(n float64) float64 {
+			if n < 2 {
+				return 0
+			}
+			return pl.cpu.Compare * 2 * n * math.Ceil(math.Log2(n))
+		}
+		seq := pattern.Seq{}
+		var cpu float64
+		if !u.Sorted {
+			seq = append(seq, engine.QuickSortPattern(ur, pl.minCapacity()))
+			cpu += sortCPU(nU)
+		}
+		if !v.Sorted {
+			seq = append(seq, engine.QuickSortPattern(vr, pl.minCapacity()))
+			cpu += sortCPU(nV)
+		}
+		seq = append(seq, engine.MergeJoinPattern(ur, vr, out))
+		cpu += pl.cpu.Compare*(nU+nV) + pl.cpu.Move*float64(outTuples)
+		if err := add(SortMergeJoin, seq, 0, cpu); err != nil {
+			return nil, err
+		}
+	}
+
+	// Hash join (build on the smaller input).
+	build, probe := vr, ur
+	if u.Tuples < v.Tuples {
+		build, probe = ur, vr
+	}
+	h := engine.HashRegionFor("H", build.N)
+	if err := add(HashJoin,
+		engine.HashJoinPattern(probe, build, h, out), 0,
+		pl.cpu.Hash*(nU+nV)+pl.cpu.Move*float64(outTuples)); err != nil {
+		return nil, err
+	}
+
+	// Partitioned hash join over candidate fan-outs.
+	for _, m := range pl.candidateFanouts() {
+		if m*8 > u.Tuples || m*8 > v.Tuples {
+			continue // degenerate clusters
+		}
+		p := engine.PartitionedHashJoinPattern(ur, vr, out, m)
+		cpu := pl.cpu.Partition*(nU+nV) + pl.cpu.Hash*(nU+nV) + pl.cpu.Move*float64(outTuples)
+		if err := add(PartitionedHashJoin, p, m, cpu); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].TotalNS() < plans[j].TotalNS() })
+	return plans, nil
+}
+
+// BestJoin returns the cheapest join plan.
+func (pl *Planner) BestJoin(u, v Relation, outTuples int64) (Plan, error) {
+	plans, err := pl.JoinPlans(u, v, outTuples)
+	if err != nil {
+		return Plan{}, err
+	}
+	return plans[0], nil
+}
+
+// AggregatePlans costs hash- vs sort-based grouping of u into `groups`
+// result groups, sorted cheapest first.
+func (pl *Planner) AggregatePlans(u Relation, groups int64) ([]Plan, error) {
+	ur := u.Region()
+	n := float64(u.Tuples)
+	agg := engine.AggRegionFor("A", groups)
+	var plans []Plan
+
+	mem, err := pl.costOf(engine.HashAggregatePattern(ur, agg))
+	if err != nil {
+		return nil, err
+	}
+	plans = append(plans, Plan{
+		Algorithm: HashAggregate,
+		Pattern:   engine.HashAggregatePattern(ur, agg),
+		MemNS:     mem,
+		CPUNS:     pl.cpu.Hash * n,
+	})
+
+	out := region.New("G", groups, u.Width)
+	sortPat := pattern.Seq{
+		engine.QuickSortPattern(ur, pl.minCapacity()),
+		pattern.Conc{pattern.STrav{R: ur}, pattern.STrav{R: out}},
+	}
+	mem, err = pl.costOf(sortPat)
+	if err != nil {
+		return nil, err
+	}
+	sortCPU := 0.0
+	if n >= 2 {
+		sortCPU = pl.cpu.Compare * 2 * n * math.Ceil(math.Log2(n))
+	}
+	plans = append(plans, Plan{
+		Algorithm: SortAggregate,
+		Pattern:   sortPat,
+		MemNS:     mem,
+		CPUNS:     sortCPU + pl.cpu.Compare*n,
+	})
+
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].TotalNS() < plans[j].TotalNS() })
+	return plans, nil
+}
+
+// DistinctPlans costs hash- vs sort-based duplicate elimination with the
+// given estimated distinct count, sorted cheapest first.
+func (pl *Planner) DistinctPlans(u Relation, distinct int64) ([]Plan, error) {
+	ur := u.Region()
+	n := float64(u.Tuples)
+	h := engine.HashRegionFor("H", u.Tuples)
+	out := region.New("D", distinct, u.Width)
+	var plans []Plan
+
+	hp := engine.HashDedupPattern(ur, h, out)
+	mem, err := pl.costOf(hp)
+	if err != nil {
+		return nil, err
+	}
+	plans = append(plans, Plan{Algorithm: HashDistinct, Pattern: hp, MemNS: mem, CPUNS: pl.cpu.Hash * n})
+
+	sp := engine.SortDedupPattern(ur, out, pl.minCapacity())
+	mem, err = pl.costOf(sp)
+	if err != nil {
+		return nil, err
+	}
+	sortCPU := 0.0
+	if n >= 2 {
+		sortCPU = pl.cpu.Compare * 2 * n * math.Ceil(math.Log2(n))
+	}
+	plans = append(plans, Plan{Algorithm: SortDistinct, Pattern: sp, MemNS: mem, CPUNS: sortCPU + pl.cpu.Compare*n})
+
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].TotalNS() < plans[j].TotalNS() })
+	return plans, nil
+}

@@ -1,0 +1,213 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+)
+
+func newPlanner(t *testing.T) *Planner {
+	t.Helper()
+	pl, err := New(hardware.Origin2000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestJoinPlansEnumerated(t *testing.T) {
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 100000, Width: 16}
+	v := Relation{Name: "V", Tuples: 100000, Width: 16}
+	plans, err := pl.JoinPlans(u, v, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 4 {
+		t.Fatalf("only %d candidate plans", len(plans))
+	}
+	seen := map[Algorithm]bool{}
+	for _, p := range plans {
+		seen[p.Algorithm] = true
+		if p.TotalNS() <= 0 {
+			t.Errorf("%s has non-positive cost", p.Algorithm)
+		}
+	}
+	for _, alg := range []Algorithm{NestedLoopJoin, SortMergeJoin, HashJoin, PartitionedHashJoin} {
+		if !seen[alg] {
+			t.Errorf("missing candidate %s", alg)
+		}
+	}
+	// Plans sorted cheapest-first.
+	for i := 1; i < len(plans); i++ {
+		if plans[i].TotalNS() < plans[i-1].TotalNS() {
+			t.Error("plans not sorted by cost")
+		}
+	}
+}
+
+func TestMergeJoinOfferedForSortedInputs(t *testing.T) {
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 50000, Width: 8, Sorted: true}
+	v := Relation{Name: "V", Tuples: 50000, Width: 8, Sorted: true}
+	plans, err := pl.JoinPlans(u, v, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasMerge, hasSortMerge bool
+	for _, p := range plans {
+		hasMerge = hasMerge || p.Algorithm == MergeJoin
+		hasSortMerge = hasSortMerge || p.Algorithm == SortMergeJoin
+	}
+	if !hasMerge {
+		t.Error("merge join not offered for sorted inputs")
+	}
+	if hasSortMerge {
+		t.Error("redundant sort-merge join offered for sorted inputs")
+	}
+}
+
+func TestBestJoinPrefersMergeWhenSorted(t *testing.T) {
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 1 << 20, Width: 8, Sorted: true}
+	v := Relation{Name: "V", Tuples: 1 << 20, Width: 8, Sorted: true}
+	best, err := pl.BestJoin(u, v, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Algorithm != MergeJoin {
+		t.Errorf("best = %s, want merge join for pre-sorted 8MB inputs", best.Algorithm)
+	}
+}
+
+func TestBestJoinAvoidsNestedLoopForLargeInputs(t *testing.T) {
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 1 << 18, Width: 16}
+	v := Relation{Name: "V", Tuples: 1 << 18, Width: 16}
+	best, err := pl.BestJoin(u, v, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Algorithm == NestedLoopJoin {
+		t.Error("nested loop chosen for 256k x 256k join")
+	}
+}
+
+func TestBestJoinCrossover(t *testing.T) {
+	// The headline claim: plain hash join wins while its hash table fits
+	// L2; partitioned hash join wins once it does not.
+	pl := newPlanner(t)
+	small := Relation{Name: "U", Tuples: 1 << 14, Width: 16} // H = 512kB ≤ 4MB
+	bestSmall, err := pl.BestJoin(small, Relation{Name: "V", Tuples: 1 << 14, Width: 16}, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestSmall.Algorithm != HashJoin {
+		t.Errorf("small join best = %s, want plain hash join", bestSmall.Algorithm)
+	}
+	big := Relation{Name: "U", Tuples: 1 << 21, Width: 16} // H = 64MB >> 4MB
+	bestBig, err := pl.BestJoin(big, Relation{Name: "V", Tuples: 1 << 21, Width: 16}, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestBig.Algorithm != PartitionedHashJoin {
+		t.Errorf("big join best = %s, want partitioned hash join", bestBig.Algorithm)
+	}
+}
+
+func TestAggregatePlans(t *testing.T) {
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 1 << 18, Width: 8}
+	plans, err := pl.AggregatePlans(u, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("got %d aggregate plans", len(plans))
+	}
+	// Few groups: the aggregate table is cache-resident, hashing must
+	// beat sort-everything.
+	if plans[0].Algorithm != HashAggregate {
+		t.Errorf("best aggregate = %s, want hash (1k groups)", plans[0].Algorithm)
+	}
+}
+
+func TestDistinctPlans(t *testing.T) {
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 1 << 16, Width: 8}
+	plans, err := pl.DistinctPlans(u, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("got %d distinct plans", len(plans))
+	}
+	for _, p := range plans {
+		if p.TotalNS() <= 0 {
+			t.Errorf("%s non-positive cost", p.Algorithm)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Algorithm: HashJoin, MemNS: 2e6, CPUNS: 1e6}
+	if p.String() == "" || p.TotalNS() != 3e6 {
+		t.Error("Plan rendering broken")
+	}
+}
+
+// TestPlannerRankingMatchesSimulation executes the top candidates of a
+// join on the simulated engine and verifies the predicted winner indeed
+// measures fastest — the end-to-end claim of the paper.
+func TestPlannerRankingMatchesSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated execution of multiple plans")
+	}
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 1 << 17, Width: 8} // 1MB inputs, H=4MB boundary
+	v := Relation{Name: "V", Tuples: 1 << 17, Width: 8}
+	plans, err := pl.JoinPlans(u, v, u.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute every plan except quadratic nested loop.
+	type outcome struct {
+		alg    Algorithm
+		predNS float64
+		measNS float64
+	}
+	var outcomes []outcome
+	for _, p := range plans {
+		if p.Algorithm == NestedLoopJoin {
+			continue
+		}
+		ex := NewExecutor(pl, 256<<20)
+		ut, vt := ex.MaterializeJoinInputs(u, v, 11)
+		matches, measNS, err := ex.RunJoin(p, ut, vt, u.Tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matches != u.Tuples {
+			t.Fatalf("%s: %d matches, want %d", p.Algorithm, matches, u.Tuples)
+		}
+		outcomes = append(outcomes, outcome{p.Algorithm, p.MemNS, measNS})
+	}
+	// The predicted-cheapest executed plan must also measure cheapest
+	// (within 10% slack for near-ties).
+	bestPred, bestMeas := outcomes[0], outcomes[0]
+	for _, o := range outcomes[1:] {
+		if o.predNS < bestPred.predNS {
+			bestPred = o
+		}
+		if o.measNS < bestMeas.measNS {
+			bestMeas = o
+		}
+	}
+	if bestPred.alg != bestMeas.alg && bestPred.measNS > bestMeas.measNS*1.10 {
+		t.Errorf("predicted winner %s (measured %.1fms) but %s measured %.1fms",
+			bestPred.alg, bestPred.measNS/1e6, bestMeas.alg, bestMeas.measNS/1e6)
+	}
+	for _, o := range outcomes {
+		t.Logf("%-22s pred %8.1fms meas %8.1fms", o.alg, o.predNS/1e6, o.measNS/1e6)
+	}
+}

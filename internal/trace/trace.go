@@ -1,0 +1,225 @@
+// Package trace analyzes address traces: it recognizes sequential runs,
+// measures spatial and temporal locality, and summarizes a trace's
+// geometry. Tests and diagnostics use it to check that an operator's
+// implementation actually produces the access pattern its model
+// description claims — the glue between the engine's behaviour and the
+// pattern language.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vmem"
+)
+
+// Recorder collects accesses as a vmem.Observer.
+type Recorder struct {
+	accesses []vmem.Access
+	limit    int
+}
+
+// NewRecorder creates a recorder that keeps at most limit accesses
+// (0 = unlimited).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// OnAccess implements vmem.Observer.
+func (r *Recorder) OnAccess(a vmem.Access) {
+	if r.limit > 0 && len(r.accesses) >= r.limit {
+		return
+	}
+	r.accesses = append(r.accesses, a)
+}
+
+// Accesses returns the recorded trace.
+func (r *Recorder) Accesses() []vmem.Access { return r.accesses }
+
+// Reset discards the recorded trace.
+func (r *Recorder) Reset() { r.accesses = r.accesses[:0] }
+
+// Run is a maximal sequence of accesses at a constant positive stride.
+type Run struct {
+	Start  vmem.Addr
+	Stride int64
+	Count  int
+}
+
+// Runs segments a trace into maximal constant-stride runs (stride may be
+// any non-zero value; isolated accesses become 1-element runs).
+func Runs(trace []vmem.Access) []Run {
+	var runs []Run
+	i := 0
+	for i < len(trace) {
+		run := Run{Start: trace[i].Addr, Count: 1}
+		j := i + 1
+		if j < len(trace) {
+			stride := int64(trace[j].Addr - trace[i].Addr)
+			if stride != 0 {
+				run.Stride = stride
+				for j < len(trace) && int64(trace[j].Addr-trace[j-1].Addr) == stride {
+					run.Count++
+					j++
+				}
+			}
+		}
+		if run.Count == 1 {
+			j = i + 1
+		}
+		runs = append(runs, run)
+		i = j
+	}
+	return runs
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Accesses      int
+	Bytes         int64   // total bytes touched (sum of access sizes)
+	DistinctLines int     // distinct lines at the given line size
+	SeqFraction   float64 // fraction of accesses inside runs of ≥ minRunLen
+	MeanRunLen    float64
+	MaxRunLen     int
+	Reads         int
+	Writes        int
+}
+
+// minRunLen is the run length from which accesses count as sequential.
+const minRunLen = 4
+
+// Analyze computes summary statistics of a trace at the given cache-line
+// size.
+func Analyze(trace []vmem.Access, lineSize int64) Stats {
+	st := Stats{Accesses: len(trace)}
+	if len(trace) == 0 {
+		return st
+	}
+	lines := make(map[int64]struct{})
+	for _, a := range trace {
+		st.Bytes += a.Size
+		if a.Write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		first := int64(a.Addr) / lineSize
+		last := (int64(a.Addr) + a.Size - 1) / lineSize
+		for l := first; l <= last; l++ {
+			lines[l] = struct{}{}
+		}
+	}
+	st.DistinctLines = len(lines)
+
+	runs := Runs(trace)
+	seq := 0
+	totalRun := 0
+	for _, r := range runs {
+		totalRun += r.Count
+		if r.Count > st.MaxRunLen {
+			st.MaxRunLen = r.Count
+		}
+		if r.Count >= minRunLen {
+			seq += r.Count
+		}
+	}
+	st.SeqFraction = float64(seq) / float64(len(trace))
+	st.MeanRunLen = float64(totalRun) / float64(len(runs))
+	return st
+}
+
+// ReuseDistances returns, for every access after the first touch of a
+// line, the number of distinct other lines touched since that line's
+// previous access (LRU stack distance at line granularity). Infinite
+// (first-touch) distances are omitted. Quadratic; intended for small
+// diagnostic traces.
+func ReuseDistances(trace []vmem.Access, lineSize int64) []int {
+	var out []int
+	lastPos := make(map[int64]int)
+	lineSeq := make([]int64, 0, len(trace))
+	for _, a := range trace {
+		line := int64(a.Addr) / lineSize
+		if prev, ok := lastPos[line]; ok {
+			seen := make(map[int64]struct{})
+			for _, l := range lineSeq[prev+1:] {
+				if l != line {
+					seen[l] = struct{}{}
+				}
+			}
+			out = append(out, len(seen))
+		}
+		lastPos[line] = len(lineSeq)
+		lineSeq = append(lineSeq, line)
+	}
+	return out
+}
+
+// HitRateForCache estimates the LRU hit rate a fully associative cache
+// with the given number of lines would achieve on the trace, from its
+// reuse-distance profile.
+func HitRateForCache(trace []vmem.Access, lineSize int64, lines int) float64 {
+	ds := ReuseDistances(trace, lineSize)
+	if len(trace) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, d := range ds {
+		if d < lines {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(trace))
+}
+
+// Classify gives a coarse label for a trace: "sequential", "random", or
+// "mixed", based on the sequential fraction.
+func Classify(trace []vmem.Access, lineSize int64) string {
+	st := Analyze(trace, lineSize)
+	switch {
+	case st.SeqFraction >= 0.9:
+		return "sequential"
+	case st.SeqFraction <= 0.1:
+		return "random"
+	default:
+		return "mixed"
+	}
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accesses=%d bytes=%d lines=%d seq=%.2f meanRun=%.1f maxRun=%d r/w=%d/%d",
+		s.Accesses, s.Bytes, s.DistinctLines, s.SeqFraction, s.MeanRunLen, s.MaxRunLen,
+		s.Reads, s.Writes)
+	return b.String()
+}
+
+// Histogram buckets the reuse distances into powers of two and returns
+// (bucket upper bounds, counts); useful to visualize locality.
+func Histogram(distances []int) (bounds []int, counts []int) {
+	if len(distances) == 0 {
+		return nil, nil
+	}
+	max := 0
+	for _, d := range distances {
+		if d > max {
+			max = d
+		}
+	}
+	bound := 1
+	for bound <= max {
+		bounds = append(bounds, bound)
+		bound *= 2
+	}
+	bounds = append(bounds, bound)
+	counts = make([]int, len(bounds))
+	for _, d := range distances {
+		idx := sort.SearchInts(bounds, d+1)
+		if idx >= len(counts) {
+			idx = len(counts) - 1
+		}
+		counts[idx]++
+	}
+	return bounds, counts
+}

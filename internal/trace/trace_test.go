@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/pattern"
+	"repro/internal/region"
+	"repro/internal/vmem"
+	"repro/internal/workload"
+)
+
+func acc(addrs ...int64) []vmem.Access {
+	out := make([]vmem.Access, len(addrs))
+	for i, a := range addrs {
+		out[i] = vmem.Access{Addr: vmem.Addr(a), Size: 8}
+	}
+	return out
+}
+
+func TestRunsDetectsStrides(t *testing.T) {
+	// Greedy segmentation: 100 and 200 pair up as a stride-100 run, so
+	// the tail 208/216 continues from 208.
+	tr := acc(0, 8, 16, 24, 100, 200, 208, 216)
+	runs := Runs(tr)
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs %v, want 3", len(runs), runs)
+	}
+	if runs[0].Stride != 8 || runs[0].Count != 4 {
+		t.Errorf("run 0 = %+v, want stride 8 count 4", runs[0])
+	}
+	if runs[1].Stride != 100 || runs[1].Count != 2 {
+		t.Errorf("run 1 = %+v, want stride 100 count 2", runs[1])
+	}
+	if runs[2].Stride != 8 || runs[2].Count != 2 || runs[2].Start != 208 {
+		t.Errorf("run 2 = %+v", runs[2])
+	}
+}
+
+func TestRunsSingletons(t *testing.T) {
+	tr := acc(0, 1000, 4, 2000)
+	runs := Runs(tr)
+	total := 0
+	for _, r := range runs {
+		total += r.Count
+	}
+	if total != len(tr) {
+		t.Errorf("runs cover %d accesses, want %d", total, len(tr))
+	}
+}
+
+func TestRunsEmpty(t *testing.T) {
+	if got := Runs(nil); got != nil {
+		t.Errorf("Runs(nil) = %v", got)
+	}
+}
+
+func TestAnalyzeSequentialTrace(t *testing.T) {
+	var tr []vmem.Access
+	for i := int64(0); i < 64; i++ {
+		tr = append(tr, vmem.Access{Addr: vmem.Addr(i * 8), Size: 8})
+	}
+	st := Analyze(tr, 32)
+	if st.Accesses != 64 || st.Bytes != 512 {
+		t.Errorf("accesses/bytes = %d/%d", st.Accesses, st.Bytes)
+	}
+	if st.DistinctLines != 16 {
+		t.Errorf("distinct lines = %d, want 16", st.DistinctLines)
+	}
+	if st.SeqFraction != 1 {
+		t.Errorf("seq fraction = %g, want 1", st.SeqFraction)
+	}
+	if Classify(tr, 32) != "sequential" {
+		t.Errorf("Classify = %s", Classify(tr, 32))
+	}
+}
+
+func TestAnalyzeCountsWrites(t *testing.T) {
+	tr := []vmem.Access{
+		{Addr: 0, Size: 8, Write: true},
+		{Addr: 8, Size: 8},
+	}
+	st := Analyze(tr, 32)
+	if st.Writes != 1 || st.Reads != 1 {
+		t.Errorf("r/w = %d/%d", st.Reads, st.Writes)
+	}
+}
+
+func TestClassifyRandomTrace(t *testing.T) {
+	rng := workload.NewRNG(5)
+	var tr []vmem.Access
+	for i := 0; i < 512; i++ {
+		tr = append(tr, vmem.Access{Addr: vmem.Addr(rng.Intn(1 << 20)), Size: 8})
+	}
+	if got := Classify(tr, 32); got != "random" {
+		t.Errorf("Classify = %s, want random", got)
+	}
+}
+
+func TestReuseDistances(t *testing.T) {
+	// Lines (size 32): A=0, B=1, C=2 with pattern A B A C A.
+	tr := acc(0, 32, 0, 64, 0)
+	ds := ReuseDistances(tr, 32)
+	// A reused after B (distance 1), A reused after C (distance 1).
+	if len(ds) != 2 || ds[0] != 1 || ds[1] != 1 {
+		t.Errorf("ReuseDistances = %v, want [1 1]", ds)
+	}
+}
+
+func TestHitRateForCache(t *testing.T) {
+	// Cyclic sweep over 4 lines, twice: with ≥4 lines of cache the
+	// second sweep hits; with fewer it misses.
+	tr := acc(0, 32, 64, 96, 0, 32, 64, 96)
+	if hr := HitRateForCache(tr, 32, 4); hr != 0.5 {
+		t.Errorf("hit rate with 4 lines = %g, want 0.5", hr)
+	}
+	if hr := HitRateForCache(tr, 32, 2); hr != 0 {
+		t.Errorf("hit rate with 2 lines = %g, want 0", hr)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(2)
+	r.OnAccess(vmem.Access{Addr: 0, Size: 1})
+	r.OnAccess(vmem.Access{Addr: 1, Size: 1})
+	r.OnAccess(vmem.Access{Addr: 2, Size: 1})
+	if len(r.Accesses()) != 2 {
+		t.Errorf("recorder kept %d, want 2", len(r.Accesses()))
+	}
+	r.Reset()
+	if len(r.Accesses()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bounds, counts := Histogram([]int{0, 1, 1, 3, 9})
+	if len(bounds) == 0 || len(counts) != len(bounds) {
+		t.Fatalf("histogram shape: %v %v", bounds, counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("histogram counts sum to %d, want 5", total)
+	}
+	if b, c := Histogram(nil); b != nil || c != nil {
+		t.Error("empty histogram should be nil")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Analyze(acc(0, 8), 32)
+	if st.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestDriverPatternsMatchTheirClassification ties the pattern driver and
+// the trace analyzer together: executed patterns must classify as their
+// names claim.
+func TestDriverPatternsMatchTheirClassification(t *testing.T) {
+	mem := vmem.New(1 << 22)
+	rec := NewRecorder(0)
+	mem.SetObserver(rec)
+
+	seqR := region.New("S", 4096, 8)
+	driver.Materialize(mem, seqR, 32)
+	driver.Run(mem, workload.NewRNG(1), pattern.STrav{R: seqR})
+	if got := Classify(rec.Accesses(), 32); got != "sequential" {
+		t.Errorf("s_trav classified as %s", got)
+	}
+
+	rec.Reset()
+	rndR := region.New("R", 4096, 8)
+	driver.Materialize(mem, rndR, 32)
+	driver.Run(mem, workload.NewRNG(2), pattern.RTrav{R: rndR})
+	if got := Classify(rec.Accesses(), 32); got != "random" {
+		t.Errorf("r_trav classified as %s", got)
+	}
+}
+
+// TestHitRatePredictsSimulator cross-checks the stack-distance estimate
+// against the paper's repetitive-traversal caching claim.
+func TestHitRatePredictsSimulator(t *testing.T) {
+	mem := vmem.New(1 << 20)
+	rec := NewRecorder(0)
+	mem.SetObserver(rec)
+	r := region.New("U", 64, 8) // 512 B = 16 lines
+	driver.Materialize(mem, r, 32)
+	driver.Run(mem, workload.NewRNG(3), pattern.RSTrav{R: r, Repeats: 4, Dir: pattern.Uni})
+	// 256 accesses over 16 lines; with ≥16 lines of cache only the 16
+	// first touches miss: hit rate 240/256.
+	if hr := HitRateForCache(rec.Accesses(), 32, 16); hr != 0.9375 {
+		t.Errorf("hit rate = %g, want 0.9375", hr)
+	}
+	// With 8 lines, uni-directional resweeps get no line reuse; only the
+	// 3-of-4 intra-line item hits remain: 192/256.
+	if hr := HitRateForCache(rec.Accesses(), 32, 8); hr != 0.75 {
+		t.Errorf("hit rate with thrash = %g, want 0.75", hr)
+	}
+}

@@ -1,0 +1,142 @@
+// Package workload generates deterministic test data for the experiment
+// harness: key columns with controlled distributions, permutations, and
+// seeded pseudo-randomness that does not depend on Go's global RNG, so
+// every run of every experiment sees identical address traces.
+package workload
+
+import "math"
+
+// Keyed is the minimal table surface the generators need: a tuple count
+// and unobserved key writes (filling is setup, not measured trace).
+// engine.Table satisfies it.
+type Keyed interface {
+	// N returns the tuple count.
+	N() int64
+	// SetRawKey writes the key of tuple i without observation.
+	SetRawKey(i int64, v uint64)
+}
+
+// RNG is a small, fast, deterministic generator (xorshift64*), good
+// enough for workload synthesis and permutation shuffles.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG creates a generator from a non-zero seed (0 is mapped to 1).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 1
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int64 in [0, n).
+func (r *RNG) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Permutation returns a pseudo-random permutation of [0, n).
+func (r *RNG) Permutation(n int64) []int64 {
+	p := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// FillUniform sets the keys of t to uniformly distributed values
+// (unobserved; setup data, not part of the measured trace).
+func FillUniform(t Keyed, rng *RNG) {
+	n := t.N()
+	for i := int64(0); i < n; i++ {
+		t.SetRawKey(i, rng.Uint64())
+	}
+}
+
+// FillPermutation sets the keys of t to a random permutation of 0..n-1:
+// every key occurs exactly once (1:1 join workloads).
+func FillPermutation(t Keyed, rng *RNG) {
+	perm := rng.Permutation(t.N())
+	for i, v := range perm {
+		t.SetRawKey(int64(i), uint64(v))
+	}
+}
+
+// FillSorted sets the keys of t to 0..n-1 in order (merge-join inputs).
+func FillSorted(t Keyed) {
+	n := t.N()
+	for i := int64(0); i < n; i++ {
+		t.SetRawKey(i, uint64(i))
+	}
+}
+
+// FillSortedStep sets keys to i*step (sorted with gaps, so selections and
+// band predicates have controllable selectivity).
+func FillSortedStep(t Keyed, step uint64) {
+	n := t.N()
+	for i := int64(0); i < n; i++ {
+		t.SetRawKey(i, uint64(i)*step)
+	}
+}
+
+// FillMod sets key i to i mod groups — a grouping column with exactly
+// `groups` distinct values, stored round-robin.
+func FillMod(t Keyed, groups int64) {
+	n := t.N()
+	for i := int64(0); i < n; i++ {
+		t.SetRawKey(i, uint64(i%groups))
+	}
+}
+
+// FillZipf fills keys with an approximately Zipf-distributed choice among
+// `domain` values with skew parameter s ≥ 0 (s = 0 is uniform). It uses
+// the standard inverse-CDF approximation over precomputed cumulative
+// weights for small domains.
+func FillZipf(t Keyed, rng *RNG, domain int64, s float64) {
+	if domain <= 0 {
+		panic("workload: non-positive Zipf domain")
+	}
+	cum := make([]float64, domain)
+	var total float64
+	for k := int64(0); k < domain; k++ {
+		total += 1.0 / math.Pow(float64(k+1), s)
+		cum[k] = total
+	}
+	n := t.N()
+	for i := int64(0); i < n; i++ {
+		x := rng.Float64() * total
+		// Binary search for the first cumulative weight ≥ x.
+		lo, hi := int64(0), domain-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		t.SetRawKey(i, uint64(lo))
+	}
+}

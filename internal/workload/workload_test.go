@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// memTable is a minimal Keyed implementation for tests.
+type memTable struct {
+	keys []uint64
+}
+
+func newMemTable(n int64) *memTable             { return &memTable{keys: make([]uint64, n)} }
+func (t *memTable) N() int64                    { return int64(len(t.keys)) }
+func (t *memTable) SetRawKey(i int64, v uint64) { t.keys[i] = v }
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed not remapped")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g", f)
+		}
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	f := func(seed uint64, na uint8) bool {
+		n := int64(na)%200 + 1
+		p := NewRNG(seed + 1).Permutation(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillPermutationCoversDomain(t *testing.T) {
+	tab := newMemTable(256)
+	FillPermutation(tab, NewRNG(5))
+	seen := make([]bool, 256)
+	for _, k := range tab.keys {
+		if k >= 256 || seen[k] {
+			t.Fatal("not a permutation")
+		}
+		seen[k] = true
+	}
+}
+
+func TestFillSorted(t *testing.T) {
+	tab := newMemTable(100)
+	FillSorted(tab)
+	for i, k := range tab.keys {
+		if k != uint64(i) {
+			t.Fatalf("key %d = %d", i, k)
+		}
+	}
+}
+
+func TestFillSortedStep(t *testing.T) {
+	tab := newMemTable(10)
+	FillSortedStep(tab, 7)
+	for i, k := range tab.keys {
+		if k != uint64(i*7) {
+			t.Fatalf("key %d = %d", i, k)
+		}
+	}
+}
+
+func TestFillMod(t *testing.T) {
+	tab := newMemTable(100)
+	FillMod(tab, 7)
+	counts := map[uint64]int{}
+	for _, k := range tab.keys {
+		if k >= 7 {
+			t.Fatalf("key %d outside group domain", k)
+		}
+		counts[k]++
+	}
+	if len(counts) != 7 {
+		t.Errorf("groups = %d, want 7", len(counts))
+	}
+}
+
+func TestFillUniformSpread(t *testing.T) {
+	tab := newMemTable(4096)
+	FillUniform(tab, NewRNG(6))
+	// Crude spread check: the top bit should be set about half the time.
+	high := 0
+	for _, k := range tab.keys {
+		if k>>63 == 1 {
+			high++
+		}
+	}
+	if high < 1600 || high > 2500 {
+		t.Errorf("top-bit count %d out of expected band", high)
+	}
+}
+
+func TestFillZipfSkew(t *testing.T) {
+	tab := newMemTable(10000)
+	FillZipf(tab, NewRNG(7), 100, 1.0)
+	counts := make([]int, 100)
+	for _, k := range tab.keys {
+		if k >= 100 {
+			t.Fatalf("Zipf key %d outside domain", k)
+		}
+		counts[k]++
+	}
+	// Rank 0 must dominate rank 50 heavily under s=1.
+	if counts[0] < 5*counts[50] {
+		t.Errorf("no Zipf skew: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+}
+
+func TestFillZipfUniformWhenSZero(t *testing.T) {
+	tab := newMemTable(10000)
+	FillZipf(tab, NewRNG(8), 10, 0)
+	counts := make([]int, 10)
+	for _, k := range tab.keys {
+		counts[k]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("s=0 value %d count %d not ≈1000", v, c)
+		}
+	}
+}
+
+func TestFillZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive domain")
+		}
+	}()
+	FillZipf(newMemTable(1), NewRNG(1), 0, 1)
+}
