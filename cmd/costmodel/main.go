@@ -1,15 +1,23 @@
-// Command costmodel evaluates a data access pattern on a hardware
-// profile and prints the predicted cache misses per level and the memory
-// access time (Eq. 3.1 of the paper).
+// Command costmodel evaluates data access patterns on hardware
+// profiles using the paper's generic cost model.
 //
-// Regions are declared as name:items:width triples; the pattern uses the
-// paper's Table 2 language with (+) for ⊕ and (.) for ⊙:
+// It has two subcommands:
 //
-//	costmodel -region U:1000000:8 -region H:2097152:16 -region W:1000000:8 \
+//	costmodel eval   evaluate one pattern and print per-level misses
+//	                 and the memory access time (Eq. 3.1); the default
+//	                 when no subcommand is given
+//	costmodel serve  run the HTTP/JSON batch evaluation service
+//
+// Regions are declared as name:items:width triples; the pattern uses
+// the paper's Table 2 language with (+) for ⊕ and (.) for ⊙:
+//
+//	costmodel eval -region U:1000000:8 -region H:2097152:16 -region W:1000000:8 \
 //	    -pattern 's_trav(U) (.) r_acc(1000000, H) (.) s_trav(W)'
 //
-//	costmodel -region U:4194304:8 \
-//	    -pattern 'rs_trav(10, bi, U)' -profile modern-x86 -cpu 1e6
+//	costmodel eval -region U:4194304:8 \
+//	    -pattern 'rs_trav(10, bi, U)' -profile modern-x86 -cpu 1e6 -explain
+//
+//	costmodel serve -addr :8080
 package main
 
 import (
@@ -19,14 +27,25 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/cost"
-	"repro/internal/hardware"
-	"repro/internal/pattern"
-	"repro/internal/region"
+	"repro/pkg/costmodel"
 )
 
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			runServe(args[1:])
+			return
+		case "eval":
+			args = args[1:]
+		}
+	}
+	runEval(args)
+}
+
 type regionFlags struct {
-	regions map[string]*region.Region
+	regions map[string]*costmodel.Region
 }
 
 func (f *regionFlags) String() string { return "" }
@@ -44,40 +63,37 @@ func (f *regionFlags) Set(v string) error {
 	if err != nil {
 		return fmt.Errorf("region %q: bad width", v)
 	}
-	f.regions[parts[0]] = region.New(parts[0], n, w)
+	f.regions[parts[0]] = costmodel.NewRegion(parts[0], n, w)
 	return nil
 }
 
-func main() {
-	regions := &regionFlags{regions: map[string]*region.Region{}}
+func runEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	regions := &regionFlags{regions: map[string]*costmodel.Region{}}
 	var (
-		patternStr = flag.String("pattern", "", "pattern expression (Table 2 language)")
-		profile    = flag.String("profile", "origin2000", "hardware profile: "+profileNames())
-		cpuNS      = flag.Float64("cpu", 0, "pure CPU time T_cpu in ns (Eq. 6.1)")
+		patternStr = fs.String("pattern", "", "pattern expression (Table 2 language)")
+		profile    = fs.String("profile", "origin2000", "hardware profile: "+profileNames())
+		cpuNS      = fs.Float64("cpu", 0, "pure CPU time T_cpu in ns (Eq. 6.1)")
+		explain    = fs.Bool("explain", false, "print the per-pattern-node cost breakdown")
 	)
-	flag.Var(regions, "region", "region declaration name:items:width (repeatable)")
-	flag.Parse()
+	fs.Var(regions, "region", "region declaration name:items:width (repeatable)")
+	fs.Parse(args)
 
 	if *patternStr == "" {
 		fmt.Fprintln(os.Stderr, "missing -pattern; see -h")
 		os.Exit(2)
 	}
-	mk, ok := hardware.Profiles()[*profile]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown profile %q (have: %s)\n", *profile, profileNames())
+	model, err := costmodel.DefaultRegistry().Model(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	h := mk()
+	h := model.Hierarchy()
 
-	p, err := pattern.Parse(*patternStr, regions.regions)
+	p, err := costmodel.ParsePattern(*patternStr, regions.regions)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
-	}
-	model, err := cost.New(h)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 	res, err := model.Evaluate(p)
 	if err != nil {
@@ -97,12 +113,17 @@ func main() {
 		fmt.Printf("T_cpu  = %.3f ms\n", *cpuNS/1e6)
 		fmt.Printf("T      = %.3f ms (Eq. 6.1)\n", (res.MemoryTimeNS()+*cpuNS)/1e6)
 	}
+	if *explain {
+		ex, err := model.Explain(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ex.Render(os.Stdout)
+	}
 }
 
 func profileNames() string {
-	var names []string
-	for n := range hardware.Profiles() {
-		names = append(names, n)
-	}
-	return strings.Join(names, ", ")
+	return strings.Join(costmodel.ProfileNames(), ", ")
 }

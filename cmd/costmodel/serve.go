@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/pkg/costmodel/server"
+)
+
+// runServe runs the HTTP/JSON batch evaluation service:
+//
+//	POST /v1/evaluate   single or batched pattern+profile evaluations
+//	GET  /v1/profiles   registered hardware profiles
+//	GET  /healthz       liveness probe
+//
+// Example:
+//
+//	costmodel serve -addr :8080 &
+//	curl -s localhost:8080/v1/evaluate -d '{
+//	  "profile": "origin2000",
+//	  "regions": [{"name": "U", "items": 1000000, "width": 8}],
+//	  "pattern": "s_trav(U)"
+//	}'
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "max concurrent evaluations (0 = GOMAXPROCS)")
+		cache   = fs.Int("cache", 0, fmt.Sprintf("result cache entries (0 = %d, negative disables)", server.DefaultCacheSize))
+	)
+	fs.Parse(args)
+
+	srv := server.New(server.Config{Workers: *workers, CacheSize: *cache})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Evaluations are analytic (milliseconds); full read/write
+		// timeouts keep trickling clients from pinning goroutines.
+		ReadTimeout:  time.Minute,
+		WriteTimeout: time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	log.Printf("costmodel: serving on %s (POST /v1/evaluate, GET /v1/profiles, GET /healthz)", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}

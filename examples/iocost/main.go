@@ -12,27 +12,23 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cost"
-	"repro/internal/engine"
-	"repro/internal/hardware"
-	"repro/internal/pattern"
-	"repro/internal/region"
+	"repro/pkg/costmodel"
 )
 
 func main() {
 	// Origin2000 plus a 64 MB buffer pool with 16 kB pages in front of a
 	// disk (seek ≈ 8 ms, scan ≈ 50 MB/s).
-	h := hardware.DiskExtended(64<<20, 16<<10)
-	model, err := cost.New(h)
+	h := costmodel.DiskExtended(64<<20, 16<<10)
+	model, err := costmodel.NewModel(h)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(h, "\n")
 
 	const n = 1 << 25 // 32M tuples x 8 B = 256 MB table, 4x the pool
-	t := region.New("T", n, 8)
+	t := costmodel.NewRegion("T", n, 8)
 
-	show := func(name string, p pattern.Pattern) float64 {
+	show := func(name string, p costmodel.Pattern) float64 {
 		res, err := model.Evaluate(p)
 		if err != nil {
 			log.Fatal(err)
@@ -44,17 +40,17 @@ func main() {
 	}
 
 	fmt.Println("256 MB table behind a 64 MB buffer pool:")
-	show("full scan", pattern.STrav{R: t})
-	show("second scan (pool thrashed)", pattern.Seq{pattern.STrav{R: t}, pattern.STrav{R: t}})
-	show("1M random point lookups", pattern.RAcc{R: t, Count: 1 << 20})
+	show("full scan", costmodel.STrav{R: t})
+	show("second scan (pool thrashed)", costmodel.Seq{costmodel.STrav{R: t}, costmodel.STrav{R: t}})
+	show("1M random point lookups", costmodel.RAcc{R: t, Count: 1 << 20})
 	fmt.Println()
 
 	// The classic crossover: when is an index lookup plan cheaper than a
 	// scan? Price k lookups against one scan.
 	fmt.Println("lookups vs scan crossover (same table):")
-	scanNS, _ := model.MemoryTimeNS(pattern.STrav{R: t})
+	scanNS, _ := model.MemoryTimeNS(costmodel.STrav{R: t})
 	for _, k := range []int64{1 << 8, 1 << 12, 1 << 14, 1 << 16} {
-		probeNS, err := model.MemoryTimeNS(pattern.RAcc{R: t, Count: k})
+		probeNS, err := model.MemoryTimeNS(costmodel.RAcc{R: t, Count: k})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,12 +67,12 @@ func main() {
 	// cache thrashing fixes buffer-pool thrashing — Grace-style joins
 	// fall out of the memory model for free.
 	const jn = 1 << 23 // 64 MB inputs, hash table 256 MB >> pool
-	u := region.New("U", jn, 8)
-	v := region.New("V", jn, 8)
-	w := region.New("W", jn, 8)
-	hash := engine.HashRegionFor("H", jn)
+	u := costmodel.NewRegion("U", jn, 8)
+	v := costmodel.NewRegion("V", jn, 8)
+	w := costmodel.NewRegion("W", jn, 8)
+	hash := costmodel.HashRegionFor("H", jn)
 	fmt.Println("64 MB ⋈ 64 MB with a 64 MB buffer pool:")
-	plain := show("plain hash join", engine.HashJoinPattern(u, v, hash, w))
-	part := show("partitioned hash join (m=64)", engine.PartitionedHashJoinPattern(u, v, w, 64))
+	plain := show("plain hash join", costmodel.HashJoinPattern(u, v, hash, w))
+	part := show("partitioned hash join (m=64)", costmodel.PartitionedHashJoinPattern(u, v, w, 64))
 	fmt.Printf("\npartitioning wins by %.1fx on I/O-bound inputs\n", plain/part)
 }

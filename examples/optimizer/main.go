@@ -1,10 +1,15 @@
 // Optimizer: use the cost model the way a query optimizer would — given
 // the logical data volumes (the paper assumes a perfect oracle for
-// those), compare the physical cost of four join algorithms and pick the
-// cheapest per input size. The output shows the crossover points the
-// paper's introduction motivates: nested-loop wins only for tiny inners,
-// hash join degrades once its table exceeds the caches, and partitioned
-// hash join takes over for large inputs.
+// those), enumerate the physical join algorithms, cost each one's data
+// access pattern, and pick the cheapest per input size. The output
+// shows the crossover points the paper's introduction motivates:
+// nested-loop wins only for tiny inners, hash join degrades once its
+// table exceeds the caches, and partitioned hash join takes over for
+// large inputs.
+//
+// The enumeration and costing run through the public planner API of
+// repro/pkg/costmodel (NewPlanner/JoinPlans), the consumer the model
+// was designed for.
 //
 // Run with: go run ./examples/optimizer
 package main
@@ -12,64 +17,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"math"
 
-	"repro/internal/cost"
-	"repro/internal/engine"
-	"repro/internal/hardware"
-	"repro/internal/pattern"
-	"repro/internal/region"
+	"repro/pkg/costmodel"
 )
 
-// plan is one candidate physical operator with its pattern description.
-type plan struct {
-	name    string
-	pattern pattern.Pattern
-	cpuNS   float64
-}
-
-// plansFor enumerates the candidate join implementations for |U|=|V|=n
-// tuples of width w. CPU constants follow internal/experiments.
-func plansFor(n int64) []plan {
-	const w = 16
-	u := region.New("U", n, w)
-	v := region.New("V", n, w)
-	out := region.New("W", n, w)
-	h := engine.HashRegionFor("H", n)
-
-	sortLevels := math.Ceil(math.Log2(float64(n)))
-	minCap := int64(32 << 10) // L1 capacity: quick-sort pattern pruning bound
-
-	return []plan{
-		{
-			name:    "nested-loop",
-			pattern: engine.NestedLoopJoinPattern(u, v, out),
-			cpuNS:   5 * float64(n) * float64(n), // n^2 compares
-		},
-		{
-			name: "sort+merge",
-			pattern: pattern.Seq{
-				engine.QuickSortPattern(u, minCap),
-				engine.QuickSortPattern(v, minCap),
-				engine.MergeJoinPattern(u, v, out),
-			},
-			cpuNS: 2*40*float64(n)*sortLevels + 60*float64(n),
-		},
-		{
-			name:    "hash",
-			pattern: engine.HashJoinPattern(u, v, h, out),
-			cpuNS:   220 * float64(n),
-		},
-		{
-			name:    "partitioned-hash (m=64)",
-			pattern: engine.PartitionedHashJoinPattern(u, v, out, 64),
-			cpuNS:   (2*50 + 220) * float64(n),
-		},
-	}
-}
-
 func main() {
-	model, err := cost.New(hardware.Origin2000())
+	pl, err := costmodel.NewPlanner(costmodel.Origin2000())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,33 +30,47 @@ func main() {
 	fmt.Println("Equi-join of U and V (|U| = |V| = n, 16-byte tuples) on the Origin2000.")
 	fmt.Println("Predicted total time per algorithm (Eq. 6.1), cheapest marked *:")
 	fmt.Println()
+
+	// Fixed display columns (JoinPlans returns plans sorted
+	// cheapest-first, which varies by n).
+	algs := []costmodel.Algorithm{
+		costmodel.NestedLoopJoin, costmodel.SortMergeJoin,
+		costmodel.HashJoin, costmodel.PartitionedHashJoin,
+	}
 	fmt.Printf("%-10s", "n")
-	for _, p := range plansFor(1024) {
-		fmt.Printf(" %22s", p.name)
+	for _, a := range algs {
+		fmt.Printf(" %24s", a)
 	}
 	fmt.Println()
 
 	for n := int64(1 << 10); n <= 1<<22; n *= 4 {
-		plans := plansFor(n)
-		best, bestT := -1, math.Inf(1)
-		times := make([]float64, len(plans))
-		for i, p := range plans {
-			t, err := model.TotalTimeNS(p.pattern, p.cpuNS)
-			if err != nil {
-				log.Fatal(err)
-			}
-			times[i] = t
-			if t < bestT {
-				best, bestT = i, t
+		u := costmodel.Relation{Name: "U", Tuples: n, Width: 16}
+		v := costmodel.Relation{Name: "V", Tuples: n, Width: 16}
+		plans, err := pl.JoinPlans(u, v, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := plans[0]
+		// Cheapest plan per algorithm (partitioned hash join appears once
+		// per candidate fan-out; keep the best).
+		cheapest := map[costmodel.Algorithm]costmodel.Plan{}
+		for _, p := range plans {
+			if cur, ok := cheapest[p.Algorithm]; !ok || p.TotalNS() < cur.TotalNS() {
+				cheapest[p.Algorithm] = p
 			}
 		}
 		fmt.Printf("%-10d", n)
-		for i, t := range times {
+		for _, a := range algs {
+			p, ok := cheapest[a]
+			if !ok { // not enumerated at this n (e.g. fan-outs pruned)
+				fmt.Printf(" %24s", "-")
+				continue
+			}
 			mark := " "
-			if i == best {
+			if a == best.Algorithm {
 				mark = "*"
 			}
-			fmt.Printf(" %20.1fms%s", t/1e6, mark)
+			fmt.Printf(" %22.1fms%s", p.TotalNS()/1e6, mark)
 		}
 		fmt.Println()
 	}

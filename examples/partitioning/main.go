@@ -13,25 +13,25 @@ import (
 	"fmt"
 	"log"
 
+	// The model side goes through the public facade; the verification
+	// side drives the in-repo cache simulator, which stays internal.
 	"repro/internal/cachesim"
-	"repro/internal/cost"
 	"repro/internal/engine"
-	"repro/internal/hardware"
-	"repro/internal/region"
 	"repro/internal/vmem"
 	"repro/internal/workload"
+	"repro/pkg/costmodel"
 )
 
 func main() {
-	h := hardware.Origin2000()
-	model, err := cost.New(h)
+	h := costmodel.Origin2000()
+	model, err := costmodel.NewModel(h)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	const n = 1 << 20 // 8 MB input, 8-byte tuples
 	const w = 8
-	u := region.New("U", n, w)
+	u := costmodel.NewRegion("U", n, w)
 
 	fmt.Println("Partition an 8 MB relation into m clusters, then hash-join the")
 	fmt.Println("clusters: predicted memory time of both phases vs m (Origin2000).")
@@ -42,25 +42,25 @@ func main() {
 	for m := int64(1); m <= 16384; m *= 4 {
 		var partNS float64
 		if m > 1 {
-			x := region.New("X", n, w)
-			res, err := model.Evaluate(engine.PartitionPattern(u, x, m))
+			x := costmodel.NewRegion("X", n, w)
+			res, err := model.Evaluate(costmodel.PartitionPattern(u, x, m))
 			if err != nil {
 				log.Fatal(err)
 			}
 			partNS = 2 * res.MemoryTimeNS() // both inputs get partitioned
 		}
 		// Join phase: per-cluster hash joins (m=1 is the plain join).
-		v := region.New("V", n, w)
-		out := region.New("W", n, w)
+		v := costmodel.NewRegion("V", n, w)
+		out := costmodel.NewRegion("W", n, w)
 		var joinNS float64
 		if m == 1 {
-			res, err := model.Evaluate(engine.HashJoinPattern(u, v, engine.HashRegionFor("H", n), out))
+			res, err := model.Evaluate(costmodel.HashJoinPattern(u, v, costmodel.HashRegionFor("H", n), out))
 			if err != nil {
 				log.Fatal(err)
 			}
 			joinNS = res.MemoryTimeNS()
 		} else {
-			res, err := model.Evaluate(engine.PartitionedHashJoinPattern(u, v, out, m))
+			res, err := model.Evaluate(costmodel.PartitionedHashJoinPattern(u, v, out, m))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -2,6 +2,9 @@
 // paper's pattern language, and let the generic cost model predict its
 // cache misses and memory access time on a concrete memory hierarchy.
 //
+// Everything goes through the public facade, repro/pkg/costmodel; see
+// the README for the library quickstart this example accompanies.
+//
 // Run with: go run ./examples/quickstart
 package main
 
@@ -9,34 +12,31 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cost"
-	"repro/internal/engine"
-	"repro/internal/hardware"
-	"repro/internal/region"
+	"repro/pkg/costmodel"
 )
 
 func main() {
 	// 1. A hardware profile: the paper's SGI Origin2000 (Table 3).
-	h := hardware.Origin2000()
+	h := costmodel.Origin2000()
 	fmt.Print(h, "\n")
 
 	// 2. Data regions: a 1M-tuple outer relation U, an equally large
 	//    inner relation V, the hash table H the join builds over V, and
 	//    the join result W.
 	const n = 1_000_000
-	u := region.New("U", n, 16)
-	v := region.New("V", n, 16)
-	w := region.New("W", n, 16)
-	hash := engine.HashRegionFor("H", n)
+	u := costmodel.NewRegion("U", n, 16)
+	v := costmodel.NewRegion("V", n, 16)
+	w := costmodel.NewRegion("W", n, 16)
+	hash := costmodel.HashRegionFor("H", n)
 
 	// 3. The access pattern of a canonical hash join (paper Table 2):
 	//    build = s_trav(V) ⊙ r_trav(H), then
 	//    probe = s_trav(U) ⊙ r_acc(|U|, H) ⊙ s_trav(W).
-	p := engine.HashJoinPattern(u, v, hash, w)
+	p := costmodel.HashJoinPattern(u, v, hash, w)
 	fmt.Printf("pattern: %s\n\n", p)
 
 	// 4. Predict misses per cache level and the memory access time.
-	model, err := cost.New(h)
+	model, err := costmodel.NewModel(h)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func main() {
 	// 5. The same join with cache-sized partitions (the paper's remedy):
 	//    the model shows the memory cost collapse that motivates
 	//    radix-partitioned joins.
-	pPart := engine.PartitionedHashJoinPattern(u, v, w, 64)
+	pPart := costmodel.PartitionedHashJoinPattern(u, v, w, 64)
 	resPart, err := model.Evaluate(pPart)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,46 @@
+package costmodel
+
+import "repro/internal/engine"
+
+// Operator pattern builders, re-exported from the simulated engine:
+// ready-made Table 2 access-pattern descriptions of the classic
+// relational operators, so callers can cost a hash join or a quick-sort
+// without spelling out its pattern algebra by hand.
+var (
+	// ScanPattern is s_trav(U, u): a table scan touching u bytes per tuple.
+	ScanPattern = engine.ScanPattern
+	// SelectPattern is s_trav(U) ⊙ s_trav(W).
+	SelectPattern = engine.SelectPattern
+	// ProjectPattern is s_trav(U, u) ⊙ s_trav(W).
+	ProjectPattern = engine.ProjectPattern
+	// QuickSortPattern describes in-place quick-sort over a region.
+	QuickSortPattern = engine.QuickSortPattern
+	// MergeJoinPattern is s_trav(U) ⊙ s_trav(V) ⊙ s_trav(W).
+	MergeJoinPattern = engine.MergeJoinPattern
+	// NestedLoopJoinPattern is the outer traversal with a repeated inner.
+	NestedLoopJoinPattern = engine.NestedLoopJoinPattern
+	// HashBuildPattern is the build phase s_trav(V) ⊙ r_trav(H).
+	HashBuildPattern = engine.HashBuildPattern
+	// HashProbePattern is the probe phase s_trav(U) ⊙ r_acc(|U|, H) ⊙ s_trav(W).
+	HashProbePattern = engine.HashProbePattern
+	// HashJoinPattern is build ⊕ probe.
+	HashJoinPattern = engine.HashJoinPattern
+	// PartitionPattern is s_trav(U) ⊙ nest(W, m, s_trav(W_j), rnd).
+	PartitionPattern = engine.PartitionPattern
+	// PartitionedHashJoinPattern partitions both inputs, then joins
+	// cluster pairs.
+	PartitionedHashJoinPattern = engine.PartitionedHashJoinPattern
+	// HashAggregatePattern is s_trav(U) ⊙ r_acc(|U|, A).
+	HashAggregatePattern = engine.HashAggregatePattern
+	// HashDedupPattern is hash-based duplicate elimination.
+	HashDedupPattern = engine.HashDedupPattern
+	// SortDedupPattern is sort-based duplicate elimination.
+	SortDedupPattern = engine.SortDedupPattern
+
+	// HashRegionFor returns the region descriptor of the hash table the
+	// engine would build for n entries (buckets = next power of two ≥ 2n).
+	HashRegionFor = engine.HashRegionFor
+	// AggRegionFor returns the region descriptor of the aggregation
+	// table the engine would build for n groups.
+	AggRegionFor = engine.AggRegionFor
+)

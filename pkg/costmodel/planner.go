@@ -1,0 +1,42 @@
+package costmodel
+
+import "repro/internal/planner"
+
+// Planner surface: a miniature cost-based physical optimizer built on
+// the model — the consumer the paper designed the model for. Given
+// logical data volumes it enumerates candidate physical plans, costs
+// each one's access pattern, and ranks them cheapest first.
+type (
+	// Planner costs candidate plans on one hardware profile.
+	Planner = planner.Planner
+	// Relation describes an input's logical properties (cardinality,
+	// tuple width, sortedness).
+	Relation = planner.Relation
+	// Plan is one costed physical alternative.
+	Plan = planner.Plan
+	// Algorithm identifies a physical operator implementation.
+	Algorithm = planner.Algorithm
+	// CPUCosts are the per-tuple T_cpu constants per algorithm step.
+	CPUCosts = planner.CPUCosts
+)
+
+// The planner's physical algorithm inventory, re-exported.
+const (
+	NestedLoopJoin      = planner.NestedLoopJoin
+	MergeJoin           = planner.MergeJoin
+	SortMergeJoin       = planner.SortMergeJoin
+	HashJoin            = planner.HashJoin
+	PartitionedHashJoin = planner.PartitionedHashJoin
+	QuickSort           = planner.QuickSort
+	HashAggregate       = planner.HashAggregate
+	SortAggregate       = planner.SortAggregate
+	HashDistinct        = planner.HashDistinct
+	SortDistinct        = planner.SortDistinct
+)
+
+// NewPlanner creates a planner for the hierarchy.
+func NewPlanner(h *Hierarchy) (*Planner, error) { return planner.New(h) }
+
+// DefaultCPUCosts returns the planner's default per-tuple CPU cost
+// constants.
+func DefaultCPUCosts() CPUCosts { return planner.DefaultCPU() }

@@ -1,0 +1,148 @@
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hardware"
+)
+
+// A Registry maps profile names to hardware hierarchies. It is seeded
+// with the built-in profiles (the paper's Origin2000 and friends, see
+// docs/profiles.md) and can be extended at runtime with Register, so a
+// deployment can describe its own machines once and address them by
+// name everywhere — CLI flags, HTTP requests, planner setup.
+//
+// A Registry is safe for concurrent use. Profiles are stored as
+// constructor functions and every Profile call returns a fresh
+// *Hierarchy, so callers may mutate the result freely.
+type Registry struct {
+	mu       sync.RWMutex
+	profiles map[string]func() *Hierarchy
+	version  uint64
+}
+
+// NewRegistry returns a registry seeded with the built-in profiles.
+func NewRegistry() *Registry {
+	r := &Registry{profiles: map[string]func() *Hierarchy{}}
+	for name, mk := range hardware.Profiles() {
+		r.profiles[name] = mk
+	}
+	return r
+}
+
+// Register adds (or replaces) a named profile. The constructor must
+// return a hierarchy that validates; Register calls it once to check.
+// Registering a nil constructor or an invalid hierarchy is an error.
+func (r *Registry) Register(name string, mk func() *Hierarchy) error {
+	if name == "" {
+		return fmt.Errorf("costmodel: empty profile name")
+	}
+	if mk == nil {
+		return fmt.Errorf("costmodel: profile %q: nil constructor", name)
+	}
+	h := mk()
+	if h == nil {
+		return fmt.Errorf("costmodel: profile %q: constructor returned nil", name)
+	}
+	if err := h.Validate(); err != nil {
+		return fmt.Errorf("costmodel: profile %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.profiles[name] = mk
+	r.version++
+	return nil
+}
+
+// RegisterHierarchy registers a fixed hierarchy under the given name.
+// The hierarchy is deep-copied on registration and again per Profile
+// call, so later mutations of h do not leak into lookups.
+func (r *Registry) RegisterHierarchy(name string, h *Hierarchy) error {
+	if h == nil {
+		return fmt.Errorf("costmodel: profile %q: nil hierarchy", name)
+	}
+	frozen := cloneHierarchy(h)
+	return r.Register(name, func() *Hierarchy { return cloneHierarchy(frozen) })
+}
+
+// Profile returns a fresh hierarchy for the named profile.
+func (r *Registry) Profile(name string) (*Hierarchy, error) {
+	r.mu.RLock()
+	mk, ok := r.profiles[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("costmodel: unknown profile %q (have: %v)", name, r.Names())
+	}
+	return mk(), nil
+}
+
+// Model returns a cost model for the named profile.
+func (r *Registry) Model(name string) (*Model, error) {
+	h, err := r.Profile(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewModel(h)
+}
+
+// Names returns the registered profile names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.profiles))
+	for n := range r.profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Version returns a counter that increases on every Register call.
+// Caches keyed by profile name include it so that re-registering a
+// name invalidates stale entries.
+func (r *Registry) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+func cloneHierarchy(h *Hierarchy) *Hierarchy {
+	c := *h
+	c.Levels = append([]Level(nil), h.Levels...)
+	return &c
+}
+
+// defaultRegistry backs the package-level registry functions.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the package-level registry used by
+// RegisterProfile, Profile and ProfileNames (and, by default, by the
+// serve command).
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// RegisterProfile adds a named profile to the default registry.
+func RegisterProfile(name string, mk func() *Hierarchy) error {
+	return defaultRegistry.Register(name, mk)
+}
+
+// Profile returns a fresh hierarchy from the default registry.
+func Profile(name string) (*Hierarchy, error) { return defaultRegistry.Profile(name) }
+
+// ProfileNames returns the default registry's profile names, sorted.
+func ProfileNames() []string { return defaultRegistry.Names() }
+
+// Built-in profile constructors, re-exported for direct use.
+var (
+	// Origin2000 is the paper's SGI Origin2000 (Table 3).
+	Origin2000 = hardware.Origin2000
+	// ModernX86 is a three-data-level 2000s-era x86 server.
+	ModernX86 = hardware.ModernX86
+	// SmallTest is a tiny hierarchy whose cache knees appear at
+	// unit-test-sized workloads.
+	SmallTest = hardware.SmallTest
+	// DiskExtended is Origin2000 plus a buffer-pool-over-disk level,
+	// the paper's "I/O is just one more cache level" construction.
+	DiskExtended = hardware.DiskExtended
+)

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used result cache — the
+// classic map + doubly-linked-list construction (the standard library
+// has no LRU and the repo takes no dependencies). Stored results are
+// treated as immutable; Evaluate copies before mutating.
+type lruCache struct {
+	cap int
+
+	mu    sync.Mutex
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element whose Value is *entry
+}
+
+type entry struct {
+	key string
+	res *EvalResult
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key string) (*EvalResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+func (c *lruCache) put(key string, res *EvalResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,404 @@
+// Package server exposes the cost model as an HTTP/JSON batch
+// evaluation service. Analytical cost models earn their keep by being
+// cheap enough to call at optimizer-request rates; this server makes
+// that cheapness available over the network:
+//
+//	POST /v1/evaluate   evaluate one request, or a {"requests": [...]}
+//	                    batch fanned out across a bounded worker pool
+//	GET  /v1/profiles   list the registered hardware profiles
+//	GET  /healthz       liveness probe
+//
+// Repeated (pattern, regions, profile) evaluations are memoized in an
+// LRU result cache; responses carry a "cached" flag so callers (and
+// tests) can observe the hit path.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/pkg/costmodel"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Registry resolves profile names; nil means the package default
+	// registry (built-in profiles plus anything registered at runtime).
+	Registry *costmodel.Registry
+	// Workers bounds concurrent evaluations across all in-flight HTTP
+	// requests; 0 or negative means GOMAXPROCS.
+	Workers int
+	// CacheSize is the maximum number of memoized results; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+}
+
+// DefaultCacheSize is the result-cache capacity used when
+// Config.CacheSize is 0.
+const DefaultCacheSize = 4096
+
+// Server evaluates cost-model requests over HTTP.
+type Server struct {
+	reg   *costmodel.Registry
+	sem   chan struct{}
+	cache *lruCache
+}
+
+// New returns a server with the given configuration.
+func New(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = costmodel.DefaultRegistry()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	var cache *lruCache
+	if size > 0 {
+		cache = newLRUCache(size)
+	}
+	return &Server{reg: reg, sem: make(chan struct{}, workers), cache: cache}
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/v1/profiles", s.handleProfiles)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// RegionDecl declares one data region of an evaluation request.
+type RegionDecl struct {
+	// Name is the identifier the pattern text refers to ("U", "H", ...).
+	Name string `json:"name"`
+	// Items is the region's item count R.n.
+	Items int64 `json:"items"`
+	// Width is the per-item width R.w in bytes.
+	Width int64 `json:"width"`
+}
+
+// EvalRequest is one pattern+profile evaluation.
+type EvalRequest struct {
+	// Profile names a registered hardware profile.
+	Profile string `json:"profile"`
+	// Regions declares the data regions the pattern refers to.
+	Regions []RegionDecl `json:"regions"`
+	// Pattern is a Table 2 pattern expression over the declared regions.
+	Pattern string `json:"pattern"`
+	// CPUNS is the pure CPU time T_cpu in nanoseconds (Eq. 6.1); the
+	// response's total_ns adds it to the predicted memory time.
+	CPUNS float64 `json:"cpu_ns,omitempty"`
+	// Explain requests the per-pattern-node cost breakdown.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// BatchRequest wraps multiple evaluations into one HTTP request.
+type BatchRequest struct {
+	Requests []EvalRequest `json:"requests"`
+}
+
+// LevelCost is one hierarchy level's predicted misses and time.
+type LevelCost struct {
+	Level     string  `json:"level"`
+	SeqMisses float64 `json:"seq_misses"`
+	RndMisses float64 `json:"rnd_misses"`
+	TimeNS    float64 `json:"time_ns"`
+}
+
+// ExplainLine is one pattern-tree node of an explained prediction.
+type ExplainLine struct {
+	Pattern string  `json:"pattern"`
+	Depth   int     `json:"depth"`
+	Kind    string  `json:"kind"`
+	TimeNS  float64 `json:"time_ns"`
+}
+
+// EvalResult is the prediction for one EvalRequest.
+type EvalResult struct {
+	Profile string `json:"profile"`
+	// Pattern is the canonical rendering of the parsed pattern.
+	Pattern string      `json:"pattern"`
+	Levels  []LevelCost `json:"levels,omitempty"`
+	// MemoryNS is T_mem (Eq. 3.1).
+	MemoryNS float64 `json:"memory_ns"`
+	// TotalNS is T = T_mem + T_cpu (Eq. 6.1).
+	TotalNS float64       `json:"total_ns"`
+	Explain []ExplainLine `json:"explain,omitempty"`
+	// Cached reports whether the result came from the LRU cache.
+	Cached bool `json:"cached"`
+	// Error is set (and all cost fields zero) when the request failed.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse mirrors BatchRequest: one result per request, in order.
+type BatchResponse struct {
+	Results []*EvalResult `json:"results"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+
+	// A body with a "requests" array is a batch; anything else is a
+	// single EvalRequest.
+	var batch BatchRequest
+	if err := json.Unmarshal(body, &batch); err == nil && batch.Requests != nil {
+		resp := BatchResponse{Results: s.EvaluateBatch(batch.Requests)}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	var req EvalRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	res := s.Evaluate(req)
+	status := http.StatusOK
+	if res.Error != "" {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, res)
+}
+
+// EvaluateBatch evaluates the requests concurrently, returning results
+// in request order. It spawns at most worker-pool-many goroutines (not
+// one per request — a maximal batch would otherwise allocate hundreds
+// of thousands of stacks); the semaphore inside Evaluate keeps the
+// bound global across concurrent batches.
+func (s *Server) EvaluateBatch(reqs []EvalRequest) []*EvalResult {
+	results := make([]*EvalResult, len(reqs))
+	workers := cap(s.sem)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = s.Evaluate(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Evaluate evaluates one request, consulting the result cache first.
+// Cache misses run on the server's bounded worker pool, so Workers
+// bounds concurrency for single requests and batches alike.
+func (s *Server) Evaluate(req EvalRequest) *EvalResult {
+	if req.Profile == "" {
+		return &EvalResult{Error: "missing profile"}
+	}
+	if req.Pattern == "" {
+		return &EvalResult{Profile: req.Profile, Error: "missing pattern"}
+	}
+	regions := make(map[string]*costmodel.Region, len(req.Regions))
+	for _, d := range req.Regions {
+		if d.Name == "" || d.Items < 0 || d.Width <= 0 {
+			return &EvalResult{Profile: req.Profile,
+				Error: fmt.Sprintf("invalid region %q (items=%d, width=%d)", d.Name, d.Items, d.Width)}
+		}
+		if _, dup := regions[d.Name]; dup {
+			return &EvalResult{Profile: req.Profile,
+				Error: fmt.Sprintf("region %q declared twice", d.Name)}
+		}
+		regions[d.Name] = costmodel.NewRegion(d.Name, d.Items, d.Width)
+	}
+	p, err := costmodel.ParsePattern(req.Pattern, regions)
+	if err != nil {
+		return &EvalResult{Profile: req.Profile, Error: err.Error()}
+	}
+
+	// The key excludes CPUNS: T_cpu is pure addition on top of the
+	// memory-side result (Eq. 6.1), so re-costing one pattern under
+	// varying CPU estimates — the optimizer's common case — stays a
+	// cache hit. CPUNS is applied below, after the cache.
+	key := s.cacheKey(req, regions, p)
+	res, cached := (*EvalResult)(nil), false
+	if s.cache != nil {
+		if hit, ok := s.cache.get(key); ok {
+			res, cached = hit.clone(), true
+		}
+	}
+	if res == nil {
+		s.sem <- struct{}{}
+		res = s.evaluate(req, p)
+		<-s.sem
+		if s.cache != nil && res.Error == "" {
+			// The cache keeps its own copy: callers own the returned
+			// result and may mutate it without poisoning later hits.
+			s.cache.put(key, res.clone())
+		}
+	}
+	res.TotalNS = res.MemoryNS + req.CPUNS
+	res.Cached = cached
+	return res
+}
+
+// clone returns a copy sharing no mutable state with r.
+func (r *EvalResult) clone() *EvalResult {
+	c := *r
+	c.Levels = append([]LevelCost(nil), r.Levels...)
+	c.Explain = append([]ExplainLine(nil), r.Explain...)
+	return &c
+}
+
+func (s *Server) evaluate(req EvalRequest, p costmodel.Pattern) *EvalResult {
+	model, err := s.reg.Model(req.Profile)
+	if err != nil {
+		return &EvalResult{Profile: req.Profile, Error: err.Error()}
+	}
+	eval, err := model.Evaluate(p)
+	if err != nil {
+		return &EvalResult{Profile: req.Profile, Pattern: p.String(), Error: err.Error()}
+	}
+	// TotalNS is left for the caller (Evaluate adds req.CPUNS after the
+	// cache, so cached entries stay CPU-estimate-agnostic).
+	res := &EvalResult{
+		Profile:  req.Profile,
+		Pattern:  p.String(),
+		MemoryNS: eval.MemoryTimeNS(),
+	}
+	for _, lr := range eval.PerLevel {
+		res.Levels = append(res.Levels, LevelCost{
+			Level:     lr.Level.Name,
+			SeqMisses: lr.Misses.Seq,
+			RndMisses: lr.Misses.Rnd,
+			TimeNS:    lr.MemoryTimeNS(),
+		})
+	}
+	if req.Explain {
+		ex, err := model.Explain(p)
+		if err != nil {
+			return &EvalResult{Profile: req.Profile, Pattern: p.String(), Error: err.Error()}
+		}
+		for _, n := range ex.Nodes {
+			res.Explain = append(res.Explain, ExplainLine{
+				Pattern: n.Pattern, Depth: n.Depth, Kind: n.Kind, TimeNS: n.TimeNS,
+			})
+		}
+	}
+	return res
+}
+
+// cacheKey canonicalizes a request: the *resolved* regions (so the key
+// reflects exactly what gets evaluated, with names %q-escaped so no
+// name can forge another declaration), the pattern in its parsed
+// (canonical) rendering, and the registry version so re-registering a
+// profile name invalidates old entries. CPUNS is deliberately absent
+// (see Evaluate).
+func (s *Server) cacheKey(req EvalRequest, regions map[string]*costmodel.Region, p costmodel.Pattern) string {
+	decls := make([]string, 0, len(regions))
+	for _, r := range regions {
+		decls = append(decls, fmt.Sprintf("%q:%d:%d", r.Name, r.N, r.W))
+	}
+	sort.Strings(decls)
+	return fmt.Sprintf("v%d|%q|%s|%s|%t",
+		s.reg.Version(), req.Profile, strings.Join(decls, ","), p.String(), req.Explain)
+}
+
+// ProfileInfo describes one registered profile.
+type ProfileInfo struct {
+	Name    string      `json:"name"`
+	Machine string      `json:"machine"`
+	ClockNS float64     `json:"clock_ns"`
+	Levels  []LevelInfo `json:"levels"`
+}
+
+// LevelInfo describes one level of a profile.
+type LevelInfo struct {
+	Name             string  `json:"name"`
+	Capacity         int64   `json:"capacity"`
+	LineSize         int64   `json:"line_size"`
+	Associativity    int     `json:"associativity"`
+	SeqMissLatencyNS float64 `json:"seq_miss_latency_ns"`
+	RndMissLatencyNS float64 `json:"rnd_miss_latency_ns"`
+	TLB              bool    `json:"tlb,omitempty"`
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var out struct {
+		Profiles []ProfileInfo `json:"profiles"`
+	}
+	for _, name := range s.reg.Names() {
+		h, err := s.reg.Profile(name)
+		if err != nil {
+			continue
+		}
+		info := ProfileInfo{Name: name, Machine: h.Name, ClockNS: h.ClockNS}
+		for _, l := range h.Levels {
+			info.Levels = append(info.Levels, LevelInfo{
+				Name:             l.Name,
+				Capacity:         l.Capacity,
+				LineSize:         l.LineSize,
+				Associativity:    l.Associativity,
+				SeqMissLatencyNS: l.SeqMissLatency,
+				RndMissLatencyNS: l.RndMissLatency,
+				TLB:              l.TLB,
+			})
+		}
+		out.Profiles = append(out.Profiles, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"profiles": len(s.reg.Names()),
+		"workers":  cap(s.sem),
+	})
+}
+
+// CacheLen returns the number of memoized results (0 when caching is
+// disabled).
+func (s *Server) CacheLen() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.len()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
