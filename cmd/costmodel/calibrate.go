@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/pkg/costmodel/calibrate"
+)
+
+// runCalibrate discovers this machine's cache hierarchy (the paper's
+// Calibrator) and registers it as a named hardware profile:
+//
+//	costmodel calibrate                       # calibrate the host
+//	costmodel calibrate -name this-box -json  # machine-readable output
+//	costmodel calibrate -sim origin2000       # deterministic simulated run
+//
+// Host calibration is wall-clock based: expect a minute of memory
+// sweeps and treat latencies as estimates (docs/calibration.md explains
+// how to read the output). Ctrl-C cancels cleanly.
+func runCalibrate(args []string) {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	var (
+		name = fs.String("name", "calibrated", "profile name to register the result under")
+		sim  = fs.String("sim", "", "calibrate a simulated machine of this registered profile instead of the host: "+profileNames())
+		max  = fs.Int64("max-footprint", 0, "largest sweep footprint in bytes (0 = 64 MB host / 4x outermost capacity simulated)")
+		clk  = fs.Float64("clock", 1.0, "CPU cycle time in ns recorded on the profile")
+		asJS = fs.Bool("json", false, "print the discovered profile as JSON instead of a table")
+	)
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *sim == "" && !*asJS {
+		fmt.Fprintln(os.Stderr, "calibrating host memory (best effort; expect runtime noise)...")
+	}
+	rep, err := calibrate.Run(ctx, calibrate.Options{
+		Name:         *name,
+		SimProfile:   *sim,
+		MaxFootprint: *max,
+		ClockNS:      *clk,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *asJS {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(rep)
+	}
+	fmt.Fprintf(os.Stderr, "registered profile %q (%d levels) in this process's registry\n", rep.Name, len(rep.Levels))
+	fmt.Fprintln(os.Stderr, "note: registration does not outlive the process — to calibrate and then evaluate/validate, use `costmodel serve` and its /v1/calibrate endpoint (docs/calibration.md)")
+}

@@ -1,12 +1,19 @@
 // Command costmodel evaluates data access patterns on hardware
 // profiles using the paper's generic cost model.
 //
-// It has two subcommands:
+// It has four subcommands:
 //
-//	costmodel eval   evaluate one pattern and print per-level misses
-//	                 and the memory access time (Eq. 3.1); the default
-//	                 when no subcommand is given
-//	costmodel serve  run the HTTP/JSON batch evaluation service
+//	costmodel eval       evaluate one pattern and print per-level misses
+//	                     and the memory access time (Eq. 3.1); the
+//	                     default when no subcommand is given
+//	costmodel calibrate  discover this machine's (or a simulated
+//	                     machine's) cache hierarchy and register it as a
+//	                     hardware profile
+//	costmodel validate   sweep every operator pattern and report the
+//	                     relative error of the model's predictions
+//	                     against reference cache simulation
+//	costmodel serve      run the HTTP/JSON evaluation service (which
+//	                     also exposes calibrate and validate endpoints)
 //
 // Regions are declared as name:items:width triples; the pattern uses
 // the paper's Table 2 language with (+) for ⊕ and (.) for ⊙:
@@ -17,6 +24,8 @@
 //	costmodel eval -region U:4194304:8 \
 //	    -pattern 'rs_trav(10, bi, U)' -profile modern-x86 -cpu 1e6 -explain
 //
+//	costmodel calibrate -name this-box
+//	costmodel validate -quick -json
 //	costmodel serve -addr :8080
 package main
 
@@ -36,6 +45,12 @@ func main() {
 		switch args[0] {
 		case "serve":
 			runServe(args[1:])
+			return
+		case "calibrate":
+			runCalibrate(args[1:])
+			return
+		case "validate":
+			runValidate(args[1:])
 			return
 		case "eval":
 			args = args[1:]

@@ -14,6 +14,8 @@ import (
 //
 //	POST /v1/evaluate   single or batched pattern+profile evaluations
 //	GET  /v1/profiles   registered hardware profiles
+//	POST /v1/calibrate  async hardware self-calibration (GET ?id= polls)
+//	GET  /v1/validate   predicted-vs-simulated validation sweep
 //	GET  /healthz       liveness probe
 //
 // Example:
@@ -44,6 +46,6 @@ func runServe(args []string) {
 		WriteTimeout: time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
-	log.Printf("costmodel: serving on %s (POST /v1/evaluate, GET /v1/profiles, GET /healthz)", *addr)
+	log.Printf("costmodel: serving on %s (POST /v1/evaluate, GET /v1/profiles, POST+GET /v1/calibrate, GET /v1/validate, GET /healthz)", *addr)
 	log.Fatal(httpSrv.ListenAndServe())
 }

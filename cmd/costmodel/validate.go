@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/pkg/costmodel/validate"
+)
+
+// runValidate sweeps every operator pattern across data sizes, runs the
+// operators in simulated memory, and reports the relative error between
+// the model's predicted memory time and the simulator's measurement:
+//
+//	costmodel validate                      # full sweep on origin2000
+//	costmodel validate -quick -json         # smoke sweep + BENCH_validate.json
+//	costmodel validate -profile modern-x86 -ops scan,hash-join
+//
+// The -json trajectory file records per-operator and overall mean
+// relative error (schema in docs/validation.md), so successive runs can
+// be compared over the repository's history.
+func runValidate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	var (
+		profile = fs.String("profile", "origin2000", "hardware profile to validate: "+profileNames())
+		quick   = fs.Bool("quick", false, "small sizes for a fast smoke run")
+		ops     = fs.String("ops", "", "comma-separated operator subset (default all: "+strings.Join(validate.Operators(), ",")+")")
+		workers = fs.Int("workers", 0, "max concurrently simulated grid points (0 = GOMAXPROCS)")
+		seed    = fs.Uint64("seed", 0, "workload seed (0 = default)")
+		asJS    = fs.Bool("json", false, "also write the JSON trajectory file (-out)")
+		out     = fs.String("out", "BENCH_validate.json", "path of the JSON trajectory file written with -json")
+	)
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := validate.Options{
+		Profile: *profile,
+		Quick:   *quick,
+		Workers: *workers,
+		Seed:    *seed,
+	}
+	if *ops != "" {
+		opts.Operators = strings.Split(*ops, ",")
+	}
+	rep, err := validate.Run(ctx, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep.Report().Render(os.Stdout)
+	fmt.Printf("\nmean relative error: %.4f (%d operators)\n", rep.MeanRelError, len(rep.Operators))
+
+	if *asJS {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}

@@ -2,12 +2,13 @@
 // set-associative LRU caches (data caches and TLBs) fed by the address
 // trace of a program running in simulated memory (internal/vmem).
 //
-// It substitutes for the hardware event counters the paper uses to
-// validate the cost model: for every cache level it counts hits and
-// misses, and classifies each miss as sequential or random using a
-// stream detector that mirrors the paper's EDO discussion (consecutive
-// line fetches enjoy sequential latency; scattered fetches pay random
-// latency).
+// It implements the measurement side of the paper's Section 6
+// evaluation: where the paper reads the MIPS R10000's hardware event
+// counters to validate the cost model, this simulator counts hits and
+// misses per level and classifies each miss as sequential or random
+// using a stream detector that mirrors the Section 2 EDO/prefetch
+// discussion (consecutive line fetches enjoy sequential latency;
+// scattered fetches pay random latency).
 //
 // Data-cache levels form a chain: an access only reaches level i+1 when
 // it misses level i. TLB levels are observed in parallel: every program

@@ -26,6 +26,7 @@
 package calibrate
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,6 +35,58 @@ import (
 	"repro/internal/vmem"
 	"repro/internal/workload"
 )
+
+// Options configures a calibration run.
+type Options struct {
+	// Source selects the machine: a non-nil hierarchy is calibrated
+	// through a cache simulator (exact, deterministic); nil means the
+	// host machine is calibrated with wall-clock timing (noisy).
+	Source *hardware.Hierarchy
+	// MaxFootprint bounds the sweep sizes in bytes. It must exceed the
+	// outermost capacity of interest (2x or more recommended). 0 means
+	// 4x the outermost source capacity in simulated mode and 64 MB in
+	// host mode.
+	MaxFootprint int64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.MaxFootprint == 0 {
+		if o.Source != nil {
+			for _, l := range o.Source.Levels {
+				if 4*l.Capacity > o.MaxFootprint {
+					o.MaxFootprint = 4 * l.Capacity
+				}
+			}
+		} else {
+			o.MaxFootprint = 64 << 20
+		}
+	}
+	return o
+}
+
+// Run performs the three-phase discovery described by opts. It is the
+// context-aware entry point behind Simulated and Host: cancellation is
+// checked between measurement sweeps (the unit of work), so a calibration
+// launched by a server request stops promptly when the caller gives up.
+// On cancellation the context's error is returned and the partial result
+// is discarded.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	if opts.MaxFootprint < 0 {
+		return nil, fmt.Errorf("calibrate: negative max footprint %d", opts.MaxFootprint)
+	}
+	opts = opts.withDefaults()
+	var p prober
+	if opts.Source != nil {
+		if err := opts.Source.Validate(); err != nil {
+			return nil, fmt.Errorf("calibrate: invalid source hierarchy: %w", err)
+		}
+		p = newSimProber(opts.Source, opts.MaxFootprint)
+	} else {
+		p = newHostProber(opts.MaxFootprint)
+	}
+	return discover(ctx, p)
+}
 
 // LevelEstimate is the calibrator's estimate for one discovered level.
 type LevelEstimate struct {
@@ -171,9 +224,11 @@ func (p *simProber) cost(size, stride int64, rounds int, ord order) float64 {
 
 // Simulated runs the calibration sweeps against a simulator of h and
 // returns the discovered parameters. maxFootprint bounds the sweep sizes
-// and must exceed the outermost capacity (2x or more recommended).
+// and must exceed the outermost capacity (2x or more recommended). It is
+// Run without cancellation.
 func Simulated(h *hardware.Hierarchy, maxFootprint int64) *Result {
-	return discover(newSimProber(h, maxFootprint))
+	res, _ := discover(context.Background(), newSimProber(h, maxFootprint))
+	return res
 }
 
 // innerRndAt returns the per-access cost of the already-discovered inner
@@ -211,9 +266,18 @@ func innerSeqAt(levels []LevelEstimate, stride int64) float64 {
 	return sum
 }
 
-// discover runs the generic three-phase discovery on any prober.
-func discover(p prober) *Result {
+// discover runs the generic three-phase discovery on any prober. The
+// context is checked before every measurement sweep — the unit of work —
+// so cancellation latency is one sweep, not one calibration.
+func discover(ctx context.Context, p prober) (*Result, error) {
 	const rounds = 2
+	// sweep wraps p.cost with the cancellation check.
+	sweep := func(size, stride int64, ord order) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return p.cost(size, stride, rounds, ord), nil
+	}
 	// Stride for the capacity sweep: at most the innermost line size, so
 	// every level's working set truly equals the footprint (larger
 	// strides would skip pages of large-lined TLB levels and shift their
@@ -231,7 +295,11 @@ func discover(p prober) *Result {
 	}
 	var curve []point
 	for size := 2 * probeStride; size <= p.maxFootprint(); size *= 2 {
-		curve = append(curve, point{size, p.cost(size, probeStride, rounds, shuffled)})
+		c, err := sweep(size, probeStride, shuffled)
+		if err != nil {
+			return nil, err
+		}
+		curve = append(curve, point{size, c})
 	}
 	var capacities []int64
 	prevDelta := 0.0
@@ -267,7 +335,11 @@ func discover(p prober) *Result {
 		var resids []rp
 		var maxResid float64
 		for s := int64(8); s <= size/4; s *= 2 {
-			resid := p.cost(size, s, rounds, descending) - innerRndAt(res.Levels, s)
+			c, err := sweep(size, s, descending)
+			if err != nil {
+				return nil, err
+			}
+			resid := c - innerRndAt(res.Levels, s)
 			if resid < 0 {
 				resid = 0
 			}
@@ -286,8 +358,14 @@ func discover(p prober) *Result {
 
 		// Phase 3: latencies at stride = line size, where every access
 		// misses levels 1..i exactly once per line fetch.
-		cumRnd := p.cost(size, line, rounds, descending)
-		cumSeq := p.cost(size, line, rounds, ascending)
+		cumRnd, err := sweep(size, line, descending)
+		if err != nil {
+			return nil, err
+		}
+		cumSeq, err := sweep(size, line, ascending)
+		if err != nil {
+			return nil, err
+		}
 		rnd := cumRnd - innerRndAt(res.Levels, line)
 		seq := cumSeq - innerSeqAt(res.Levels, line)
 		if seq < 0 {
@@ -303,5 +381,5 @@ func discover(p prober) *Result {
 			RndLatency: rnd,
 		})
 	}
-	return res
+	return res, nil
 }

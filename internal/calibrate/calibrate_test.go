@@ -1,6 +1,7 @@
 package calibrate
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -110,5 +111,52 @@ func TestHostCalibratorRunsAndIsSane(t *testing.T) {
 		if l.SeqLatency < 0 || l.RndLatency < l.SeqLatency {
 			t.Errorf("bad latencies: %+v", l)
 		}
+	}
+}
+
+func TestRunSimulatedMatchesSimulated(t *testing.T) {
+	h := hardware.SmallTest()
+	res, err := Run(context.Background(), Options{Source: h, MaxFootprint: 64 << 10})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := Simulated(h, 64<<10)
+	if len(res.Levels) != len(want.Levels) {
+		t.Fatalf("Run found %d levels, Simulated %d", len(res.Levels), len(want.Levels))
+	}
+	for i := range res.Levels {
+		if res.Levels[i] != want.Levels[i] {
+			t.Errorf("level %d: Run %+v != Simulated %+v", i, res.Levels[i], want.Levels[i])
+		}
+	}
+}
+
+func TestRunDefaultFootprint(t *testing.T) {
+	opts := Options{Source: hardware.SmallTest()}.withDefaults()
+	// 4x the outermost capacity (8 kB L2).
+	if want := int64(4 * (8 << 10)); opts.MaxFootprint != want {
+		t.Errorf("default footprint = %d, want %d", opts.MaxFootprint, want)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Options{Source: hardware.SmallTest(), MaxFootprint: 64 << 10}); err != context.Canceled {
+		t.Fatalf("Run on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunRejectsInvalidSource(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Source: &hardware.Hierarchy{}}); err == nil {
+		t.Fatal("Run accepted an empty hierarchy")
+	}
+}
+
+func TestRunRejectsNegativeFootprint(t *testing.T) {
+	// A negative footprint must error, not reach make([]byte, n) in the
+	// host prober.
+	if _, err := Run(context.Background(), Options{MaxFootprint: -1}); err == nil {
+		t.Fatal("Run accepted a negative footprint")
 	}
 }

@@ -1,6 +1,7 @@
 package calibrate
 
 import (
+	"context"
 	"runtime"
 	"time"
 )
@@ -70,9 +71,10 @@ func (p *hostProber) cost(size, stride int64, rounds int, ord order) float64 {
 // is a best-effort estimate: loop overhead is not subtracted and the
 // runtime adds noise, so latencies are upper bounds and small caches may
 // be missed entirely. maxFootprint should be at least 4x the largest
-// cache of interest.
+// cache of interest. It is Run without cancellation.
 func Host(maxFootprint int64, rounds int) *Result {
 	p := newHostProber(maxFootprint)
 	_ = rounds // the shared discovery uses its own round count
-	return discover(p)
+	res, _ := discover(context.Background(), p)
+	return res
 }

@@ -8,7 +8,10 @@
 //
 // Every operator has a companion ...Pattern function returning the data
 // access pattern the paper's Table 2 assigns to it, so predictions and
-// measurements can be compared one-to-one.
+// measurements can be compared one-to-one. The operators and their
+// pattern descriptions implement the workload side of the paper's
+// Section 6 evaluation (the quick-sort, merge-join, hash-join and
+// partitioning experiments of Figure 7).
 package engine
 
 import (

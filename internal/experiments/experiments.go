@@ -1,8 +1,10 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation: the characteristic-parameter tables (Tables 1 and 3), the
-// pattern-language table (Table 2), the alignment study (Figures 4 and
-// 5), the region-geometry study (Figure 6), and the five operator
-// validation experiments (Figures 7a–7e).
+// Package experiments implements the paper's Section 6 evaluation: it
+// regenerates every table and figure — the characteristic-parameter
+// tables (Tables 1 and 3), the pattern-language table (Table 2), the
+// alignment study (Figures 4 and 5), the region-geometry study
+// (Figure 6), and the five operator validation experiments (Figures
+// 7a–7e) — and generalizes the Figure 7 comparisons into the
+// predicted-vs-simulated validation harness of validate.go.
 //
 // Each experiment produces a Report pairing the cost model's per-level
 // predictions with the cache simulator's measurements for the same run —

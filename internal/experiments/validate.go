@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/workload"
+)
+
+// This file implements the predicted-vs-simulated validation harness:
+// the paper's Section 6 methodology (run each operator, compare the
+// model's prediction with measured memory cost) generalized from the
+// five Figure 7 sweeps to a full operator × size grid with quantified
+// relative error. It is the machinery behind `costmodel validate` and
+// the server's GET /v1/validate.
+//
+// Measurement and prediction share the hierarchy's latency figures: the
+// simulator scores its counted misses with the same per-level miss
+// latencies the model uses (cachesim.MemoryTimeNS vs Eq. 3.1), so the
+// relative error isolates the model's miss-count accuracy, exactly the
+// comparison the paper's Figure 7 makes with hardware counters.
+
+// ValidationConfig controls a validation sweep.
+type ValidationConfig struct {
+	// Hier is the hardware profile to validate against (default
+	// Origin2000).
+	Hier *hardware.Hierarchy
+	// Sizes are the relation sizes in bytes to sweep (default
+	// 128 kB / 512 kB / 2 MB; Quick shrinks to 32 kB / 128 kB). Sizes
+	// below MinValidationSize are rejected; the sweep normalizes them
+	// to ascending order.
+	Sizes []int64
+	// Operators selects the operators to validate by name (default all
+	// of ValidationOperators).
+	Operators []string
+	// Quick selects the small default size set for smoke runs.
+	Quick bool
+	// Seed drives workload generation (default 42).
+	Seed uint64
+	// Workers bounds the number of concurrently simulated grid points;
+	// 0 or negative means GOMAXPROCS. Every grid point owns its private
+	// simulated machine, so points are embarrassingly parallel.
+	Workers int
+}
+
+// MinValidationSize is the smallest accepted relation size: below this
+// the fixed operator parameters (64 partitions, B-tree fanout 4) would
+// degenerate.
+const MinValidationSize = 4 << 10
+
+// ErrInvalidConfig marks caller mistakes in a ValidationConfig (unknown
+// operator, undersized sweep, invalid hierarchy), as opposed to
+// internal sweep failures. Callers exposing the harness over a protocol
+// use errors.Is against it to pick a client-error status.
+var ErrInvalidConfig = errors.New("invalid validation config")
+
+// withDefaults fills unset fields.
+func (c ValidationConfig) withDefaults() ValidationConfig {
+	if c.Hier == nil {
+		c.Hier = hardware.Origin2000()
+	}
+	if len(c.Sizes) == 0 {
+		if c.Quick {
+			c.Sizes = []int64{32 << 10, 128 << 10}
+		} else {
+			c.Sizes = []int64{128 << 10, 512 << 10, 2 << 20}
+		}
+	} else {
+		// Normalize to ascending order (without mutating the caller's
+		// slice): reports and the per-operator pattern label assume it.
+		sizes := append([]int64(nil), c.Sizes...)
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		c.Sizes = sizes
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Operators) == 0 {
+		c.Operators = ValidationOperators()
+	}
+	return c
+}
+
+// ValidationPoint is one (operator, size) cell of the validation grid.
+type ValidationPoint struct {
+	// Bytes is the input relation size ‖U‖ driving the point.
+	Bytes int64 `json:"bytes"`
+	// MeasuredNS is the simulator's latency-scored memory time.
+	MeasuredNS float64 `json:"measured_ns"`
+	// PredictedNS is the cost model's T_mem (Eq. 3.1).
+	PredictedNS float64 `json:"predicted_ns"`
+	// RelError is |predicted − measured| / measured.
+	RelError float64 `json:"rel_error"`
+}
+
+// OperatorValidation aggregates one operator's grid column.
+type OperatorValidation struct {
+	Operator string `json:"operator"`
+	// Pattern is the canonical pattern of the largest point (paper
+	// Table 2 notation).
+	Pattern      string            `json:"pattern"`
+	Points       []ValidationPoint `json:"points"`
+	MeanRelError float64           `json:"mean_rel_error"`
+	MaxRelError  float64           `json:"max_rel_error"`
+}
+
+// Validation is a full predicted-vs-simulated validation report.
+type Validation struct {
+	// Profile is the machine name of the validated hierarchy.
+	Profile string `json:"profile"`
+	Quick   bool   `json:"quick"`
+	// Sizes echoes the swept relation sizes in bytes.
+	Sizes     []int64              `json:"sizes"`
+	Operators []OperatorValidation `json:"operators"`
+	// MeanRelError is the mean of the per-operator means.
+	MeanRelError float64 `json:"mean_rel_error"`
+}
+
+// Report renders the validation as an experiments Report for the shared
+// text/CSV formatting.
+func (v *Validation) Report() *Report {
+	r := &Report{
+		ID:     "validate",
+		Title:  fmt.Sprintf("Predicted vs simulated T_mem on %s", v.Profile),
+		Header: []string{"operator", "size", "t.meas[ms]", "t.pred[ms]", "rel-err"},
+		Notes: []string{
+			fmt.Sprintf("mean relative error %.4f over %d operators", v.MeanRelError, len(v.Operators)),
+		},
+	}
+	for _, op := range v.Operators {
+		for _, pt := range op.Points {
+			r.AddRow(op.Operator, fmtBytes(pt.Bytes),
+				fmtMS(pt.MeasuredNS), fmtMS(pt.PredictedNS),
+				fmt.Sprintf("%.4f", pt.RelError))
+		}
+		r.AddRow(op.Operator, "mean", "", "", fmt.Sprintf("%.4f", op.MeanRelError))
+	}
+	return r
+}
+
+// opRunner executes one operator at one size inside a private rig and
+// returns the measured memory time plus the operator's declared pattern.
+type opRunner func(cfg Config, sz int64) (measNS float64, p pattern.Pattern)
+
+// validationOp pairs an operator name with its runner.
+type validationOp struct {
+	name string
+	run  opRunner
+}
+
+// validationOps returns the operator suite, in report order.
+func validationOps() []validationOp {
+	return []validationOp{
+		{"scan", runValScan},
+		{"sort", runValSort},
+		{"merge-join", runValMergeJoin},
+		{"hash-join", runValHashJoin},
+		{"partition", runValPartition},
+		{"radix", runValRadix},
+		{"btree", runValBTree},
+		{"aggregate", runValAggregate},
+	}
+}
+
+// ValidationOperators lists the names of all validated operators.
+func ValidationOperators() []string {
+	ops := validationOps()
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = op.name
+	}
+	return out
+}
+
+func runValScan(cfg Config, sz int64) (float64, pattern.Pattern) {
+	n := sz / 8
+	rg := newRig(cfg, sz+(1<<20))
+	u := rg.table("U", n, 8, workload.FillUniform)
+	_, memNS := rg.measure(func() { engine.ScanSum(u, 8) })
+	return memNS, engine.ScanPattern(u.Reg, 8)
+}
+
+func runValSort(cfg Config, sz int64) (float64, pattern.Pattern) {
+	n := sz / 8
+	rg := newRig(cfg, sz+(1<<20))
+	u := rg.table("U", n, 8, workload.FillUniform)
+	_, memNS := rg.measure(func() { engine.QuickSort(u) })
+	return memNS, engine.QuickSortPattern(u.Reg, minCapacity(cfg))
+}
+
+func runValMergeJoin(cfg Config, sz int64) (float64, pattern.Pattern) {
+	n := sz / 8
+	rg := newRig(cfg, 4*sz+(1<<20))
+	u := rg.table("U", n, 8, func(t workload.Keyed, _ *workload.RNG) { workload.FillSorted(t) })
+	v := rg.table("V", n, 8, func(t workload.Keyed, _ *workload.RNG) { workload.FillSorted(t) })
+	w := rg.table("W", n, 8, nil)
+	_, memNS := rg.measure(func() { engine.MergeJoin(u, v, w) })
+	return memNS, engine.MergeJoinPattern(u.Reg, v.Reg, w.Reg)
+}
+
+func runValHashJoin(cfg Config, sz int64) (float64, pattern.Pattern) {
+	n := sz / 8
+	rg := newRig(cfg, 12*sz+(1<<20))
+	u := rg.table("U", n, 8, workload.FillPermutation)
+	v := rg.table("V", n, 8, workload.FillPermutation)
+	w := rg.table("W", n, 8, nil)
+	_, memNS := rg.measure(func() { engine.HashJoin(rg.mem, u, v, w) })
+	hReg := engine.HashRegionFor("H", n)
+	return memNS, engine.HashJoinPattern(u.Reg, v.Reg, hReg, w.Reg)
+}
+
+func runValPartition(cfg Config, sz int64) (float64, pattern.Pattern) {
+	const m = 64
+	n := sz / 8
+	rg := newRig(cfg, 4*sz+(1<<20))
+	u := rg.table("U", n, 8, workload.FillUniform)
+	var parts *engine.Partitions
+	_, memNS := rg.measure(func() {
+		parts = engine.Partition(rg.mem, u, "X", m, engine.HashPartition)
+	})
+	return memNS, engine.PartitionPattern(u.Reg, parts.Out.Reg, m)
+}
+
+func runValRadix(cfg Config, sz int64) (float64, pattern.Pattern) {
+	const (
+		fanout = 8
+		passes = 2
+	)
+	n := sz / 8
+	rg := newRig(cfg, (int64(passes)+2)*sz+(1<<20))
+	u := rg.table("U", n, 8, workload.FillUniform)
+	_, memNS := rg.measure(func() {
+		engine.MultiPassPartition(rg.mem, u, "X", fanout, passes, engine.RadixPartition)
+	})
+	return memNS, engine.MultiPassPartitionPattern(u.Reg, "X", fanout, passes)
+}
+
+func runValBTree(cfg Config, sz int64) (float64, pattern.Pattern) {
+	const fanout = 4
+	n := sz / 8
+	rg := newRig(cfg, 4*sz+(1<<20))
+	u := rg.table("U", n, 8, func(t workload.Keyed, _ *workload.RNG) { workload.FillSorted(t) })
+	tree := engine.BulkLoadBTree(rg.mem, "I", u, fanout) // bulk load is unobserved setup
+	k := n / 4
+	if k < 1 {
+		k = 1
+	}
+	keys := make([]uint64, k)
+	for i := range keys {
+		keys[i] = u.RawKey(rg.rng.Intn(n))
+	}
+	_, memNS := rg.measure(func() {
+		for _, key := range keys {
+			tree.Lookup(key)
+		}
+	})
+	return memNS, tree.LookupBatchPattern(k)
+}
+
+func runValAggregate(cfg Config, sz int64) (float64, pattern.Pattern) {
+	n := sz / 8
+	groups := n / 64
+	if groups < 16 {
+		groups = 16
+	}
+	rg := newRig(cfg, 3*sz+(1<<20))
+	u := rg.table("U", n, 8, workload.FillUniform)
+	_, memNS := rg.measure(func() { engine.HashAggregate(rg.mem, u, groups) })
+	return memNS, engine.HashAggregatePattern(u.Reg, engine.AggRegionFor(u.Reg.Name+"_agg", groups))
+}
+
+// maxPatternLabel bounds the canonical pattern string recorded per
+// operator: the recursive quick-sort pattern renders to tens of
+// kilobytes, which would drown the JSON trajectory file.
+const maxPatternLabel = 160
+
+func patternLabel(p pattern.Pattern) string {
+	s := p.String()
+	if len(s) > maxPatternLabel {
+		return s[:maxPatternLabel] + " …"
+	}
+	return s
+}
+
+// relError returns |pred − meas| / meas, guarding the zero-measurement
+// corner (an all-hit run) with a 1 ns floor.
+func relError(meas, pred float64) float64 {
+	den := meas
+	if den < 1 {
+		den = 1
+	}
+	return math.Abs(pred-meas) / den
+}
+
+// RunValidation sweeps the configured operator × size grid, comparing
+// the cost model's T_mem prediction against the cache simulator's
+// latency-scored measurement for the same run, and aggregates relative
+// errors per operator. Grid points run concurrently on a bounded worker
+// pool (each point owns a private simulated machine); the context
+// cancels the sweep between points.
+func RunValidation(ctx context.Context, vcfg ValidationConfig) (*Validation, error) {
+	vcfg = vcfg.withDefaults()
+	if err := vcfg.Hier.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w: invalid hierarchy: %v", ErrInvalidConfig, err)
+	}
+	for _, sz := range vcfg.Sizes {
+		if sz < MinValidationSize {
+			return nil, fmt.Errorf("experiments: %w: size %d below minimum %d", ErrInvalidConfig, sz, MinValidationSize)
+		}
+	}
+	byName := make(map[string]opRunner)
+	for _, op := range validationOps() {
+		byName[op.name] = op.run
+	}
+	var ops []validationOp
+	for _, name := range vcfg.Operators {
+		run, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: %w: unknown operator %q (have: %v)", ErrInvalidConfig, name, ValidationOperators())
+		}
+		ops = append(ops, validationOp{name, run})
+	}
+
+	model, err := cost.New(vcfg.Hier)
+	if err != nil {
+		return nil, err
+	}
+	// Each grid point gets a private Config (private rig, private RNG
+	// stream) so concurrent points share nothing.
+	cfg := Config{Hier: vcfg.Hier, Seed: vcfg.Seed}.withDefaults()
+
+	type cell struct {
+		point   ValidationPoint
+		pattern string
+		err     error
+	}
+	grid := make([][]cell, len(ops))
+	for i := range grid {
+		grid[i] = make([]cell, len(vcfg.Sizes))
+	}
+
+	type job struct{ op, size int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := vcfg.Workers
+	if total := len(ops) * len(vcfg.Sizes); workers > total {
+		workers = total
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain remaining jobs without running them
+				}
+				c := &grid[j.op][j.size]
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							c.err = fmt.Errorf("experiments: %s at %d bytes: %v",
+								ops[j.op].name, vcfg.Sizes[j.size], r)
+						}
+					}()
+					sz := vcfg.Sizes[j.size]
+					measNS, p := ops[j.op].run(cfg, sz)
+					res, err := model.Evaluate(p)
+					if err != nil {
+						c.err = err
+						return
+					}
+					predNS := res.MemoryTimeNS()
+					c.pattern = patternLabel(p)
+					c.point = ValidationPoint{
+						Bytes:       sz,
+						MeasuredNS:  measNS,
+						PredictedNS: predNS,
+						RelError:    relError(measNS, predNS),
+					}
+				}()
+			}
+		}()
+	}
+	for i := range ops {
+		for j := range vcfg.Sizes {
+			jobs <- job{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	v := &Validation{
+		Profile: vcfg.Hier.Name,
+		Quick:   vcfg.Quick,
+		Sizes:   vcfg.Sizes,
+	}
+	var sum float64
+	for i, op := range ops {
+		ov := OperatorValidation{Operator: op.name}
+		var opSum float64
+		for j := range vcfg.Sizes {
+			c := grid[i][j]
+			if c.err != nil {
+				return nil, c.err
+			}
+			ov.Points = append(ov.Points, c.point)
+			ov.Pattern = c.pattern // largest size wins (sizes ascend)
+			opSum += c.point.RelError
+			if c.point.RelError > ov.MaxRelError {
+				ov.MaxRelError = c.point.RelError
+			}
+		}
+		ov.MeanRelError = opSum / float64(len(ov.Points))
+		sum += ov.MeanRelError
+		v.Operators = append(v.Operators, ov)
+	}
+	v.MeanRelError = sum / float64(len(v.Operators))
+	return v, nil
+}

@@ -1,9 +1,10 @@
 // Package trace analyzes address traces: it recognizes sequential runs,
 // measures spatial and temporal locality, and summarizes a trace's
 // geometry. Tests and diagnostics use it to check that an operator's
-// implementation actually produces the access pattern its model
-// description claims — the glue between the engine's behaviour and the
-// pattern language.
+// implementation actually produces the data access pattern its Section 3
+// (Table 2) description claims — the glue between the engine's
+// behaviour and the paper's pattern language, supporting the Section 6
+// methodology of comparing per-pattern predictions with measurements.
 package trace
 
 import (

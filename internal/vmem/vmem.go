@@ -2,7 +2,8 @@
 // database engine to run in. Every load and store goes through an access
 // hook, which lets a cache simulator (internal/cachesim) observe the
 // exact address trace an algorithm generates — playing the role the MIPS
-// R10000 hardware event counters play in the paper.
+// R10000 hardware event counters play in the paper's Section 6
+// evaluation.
 //
 // The address space is a single contiguous byte array with a bump
 // allocator. Addresses are plain offsets; address 0 is valid. Allocations

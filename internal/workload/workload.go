@@ -1,7 +1,9 @@
 // Package workload generates deterministic test data for the experiment
 // harness: key columns with controlled distributions, permutations, and
 // seeded pseudo-randomness that does not depend on Go's global RNG, so
-// every run of every experiment sees identical address traces.
+// every run of every experiment sees identical address traces. It
+// supplies the uniform and 1:1-join relations of the paper's Section 6
+// experiments (Figure 7) in reproducible form.
 package workload
 
 import "math"

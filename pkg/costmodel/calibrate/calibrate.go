@@ -1,0 +1,171 @@
+// Package calibrate turns an unknown machine into a registered hardware
+// profile: it runs the paper's Calibrator (Section 7's hardware
+// parameter discovery, reproduced in internal/calibrate) against the
+// host — or against a simulated machine, for deterministic tests — and
+// registers the discovered hierarchy in a costmodel.Registry, so every
+// other entry point (Evaluate, the planner, the HTTP server) can address
+// the new machine by name immediately.
+//
+// The typical zero-configuration flow on a new machine:
+//
+//	rep, err := calibrate.Run(ctx, calibrate.Options{Name: "this-box"})
+//	model, err := costmodel.DefaultRegistry().Model("this-box")
+//
+// Host measurements are wall-clock based and inherently noisy under a
+// garbage-collected runtime, so the discovered hierarchy is normalized
+// (line sizes clamped to the model's outward-monotonicity invariant,
+// random latency floored at sequential latency) before registration;
+// the raw estimates remain available in the report.
+package calibrate
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/calibrate"
+	"repro/internal/hardware"
+	"repro/pkg/costmodel"
+)
+
+// Options configures a calibration run.
+type Options struct {
+	// Name is the profile name the discovered hierarchy is registered
+	// under (default "calibrated"). Registering an existing name
+	// replaces it and bumps the registry version.
+	Name string
+	// SimProfile, when non-empty, calibrates a simulated machine of the
+	// named registered profile instead of the host. Simulated
+	// calibration is exact and deterministic — it proves the method and
+	// backs the tests; host calibration is the production path.
+	SimProfile string
+	// MaxFootprint bounds the sweep sizes in bytes; it must exceed the
+	// outermost cache of interest (≥ 2x recommended). 0 means 64 MB on
+	// the host and 4x the outermost capacity in simulated mode.
+	MaxFootprint int64
+	// ClockNS is the CPU cycle time recorded on the new hierarchy;
+	// 0 means 1.0 (the calibrator discovers memory parameters, not the
+	// clock).
+	ClockNS float64
+	// Registry receives the profile; nil means the package default
+	// registry.
+	Registry *costmodel.Registry
+}
+
+// Level is one discovered cache or TLB level, as registered.
+type Level struct {
+	Name             string  `json:"name"`
+	Capacity         int64   `json:"capacity"`
+	LineSize         int64   `json:"line_size"`
+	SeqMissLatencyNS float64 `json:"seq_miss_latency_ns"`
+	RndMissLatencyNS float64 `json:"rnd_miss_latency_ns"`
+	TLB              bool    `json:"tlb,omitempty"`
+}
+
+// Report describes a completed calibration.
+type Report struct {
+	// Name is the registered profile name.
+	Name string `json:"name"`
+	// Mode is "host" or "simulated".
+	Mode string `json:"mode"`
+	// Levels are the normalized levels, innermost first.
+	Levels []Level `json:"levels"`
+	// Hierarchy is the registered hierarchy (a fresh copy; mutating it
+	// does not affect the registry).
+	Hierarchy *costmodel.Hierarchy `json:"-"`
+}
+
+// String renders the report in the shape of the paper's Table 3.
+func (r *Report) String() string {
+	return fmt.Sprintf("profile %q (%s calibration)\n%s", r.Name, r.Mode, r.Hierarchy)
+}
+
+// Run calibrates the machine selected by opts, normalizes the result
+// into a valid hierarchy, registers it, and returns the report. The
+// context cancels the underlying measurement sweeps; on cancellation
+// nothing is registered.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	name := opts.Name
+	if name == "" {
+		name = "calibrated"
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = costmodel.DefaultRegistry()
+	}
+	mode := "host"
+	var source *hardware.Hierarchy
+	if opts.SimProfile != "" {
+		mode = "simulated"
+		h, err := reg.Profile(opts.SimProfile)
+		if err != nil {
+			return nil, err
+		}
+		source = h
+	}
+	res, err := calibrate.Run(ctx, calibrate.Options{
+		Source:       source,
+		MaxFootprint: opts.MaxFootprint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Levels) == 0 {
+		return nil, fmt.Errorf("calibrate: no cache levels discovered (footprint too small?)")
+	}
+	clock := opts.ClockNS
+	if clock == 0 {
+		clock = 1.0
+	}
+	h := res.Hierarchy(name, clock)
+	normalize(h)
+	if err := reg.RegisterHierarchy(name, h); err != nil {
+		return nil, fmt.Errorf("calibrate: discovered hierarchy rejected: %w", err)
+	}
+	rep := &Report{Name: name, Mode: mode, Hierarchy: h}
+	for _, l := range h.Levels {
+		rep.Levels = append(rep.Levels, Level{
+			Name:             l.Name,
+			Capacity:         l.Capacity,
+			LineSize:         l.LineSize,
+			SeqMissLatencyNS: l.SeqMissLatency,
+			RndMissLatencyNS: l.RndMissLatency,
+			TLB:              l.TLB,
+		})
+	}
+	return rep, nil
+}
+
+// normalize repairs the estimate noise host calibration can introduce,
+// so the discovered hierarchy satisfies hardware.Hierarchy.Validate:
+//
+//   - a level whose line estimate exceeds its capacity is clamped to one
+//     line spanning the level;
+//   - data-cache line sizes are raised to be non-decreasing outwards
+//     (capacities already ascend by construction of the capacity sweep);
+//   - random miss latency is floored at sequential miss latency.
+//
+// Capacities and line sizes come out of power-of-two sweeps, so the
+// clamps preserve the capacity-divisible-by-line invariant.
+func normalize(h *hardware.Hierarchy) {
+	var prevLine int64
+	for i := range h.Levels {
+		l := &h.Levels[i]
+		if l.LineSize > l.Capacity {
+			l.LineSize = l.Capacity
+		}
+		if !l.TLB {
+			if l.LineSize < prevLine {
+				l.LineSize = prevLine
+			}
+			if l.LineSize > l.Capacity {
+				// Raising the line overran a noisy small capacity
+				// estimate; grow the capacity to hold one line.
+				l.Capacity = l.LineSize
+			}
+			prevLine = l.LineSize
+		}
+		if l.RndMissLatency < l.SeqMissLatency {
+			l.RndMissLatency = l.SeqMissLatency
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package calibrate
+
+import (
+	"context"
+	"testing"
+
+	"repro/pkg/costmodel"
+)
+
+func TestRunSimulatedRegistersUsableProfile(t *testing.T) {
+	reg := costmodel.NewRegistry()
+	rep, err := Run(context.Background(), Options{
+		Name:         "discovered",
+		SimProfile:   "small-test",
+		MaxFootprint: 64 << 10,
+		Registry:     reg,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Name != "discovered" || rep.Mode != "simulated" {
+		t.Errorf("report = %+v", rep)
+	}
+	if len(rep.Levels) != 3 {
+		t.Fatalf("discovered %d levels, want 3 (L1, TLB, L2):\n%s", len(rep.Levels), rep)
+	}
+
+	// The registered profile must be immediately usable end to end.
+	model, err := reg.Model("discovered")
+	if err != nil {
+		t.Fatalf("Model(discovered): %v", err)
+	}
+	u := costmodel.NewRegion("U", 1<<16, 8)
+	res, err := model.Evaluate(costmodel.STrav{R: u})
+	if err != nil {
+		t.Fatalf("Evaluate on calibrated profile: %v", err)
+	}
+	if res.MemoryTimeNS() <= 0 {
+		t.Error("calibrated profile predicts zero memory time")
+	}
+
+	// The calibrated parameters should reproduce the source machine:
+	// SmallTest has a 1 kB/32 B L1 and an 8 kB/64 B L2.
+	if l1 := rep.Levels[0]; l1.Capacity != 1<<10 || l1.LineSize != 32 {
+		t.Errorf("L1 = %+v, want 1kB/32B", l1)
+	}
+	if l2 := rep.Levels[2]; l2.Capacity != 8<<10 || l2.LineSize != 64 {
+		t.Errorf("L2 = %+v, want 8kB/64B", l2)
+	}
+	if tlb := rep.Levels[1]; !tlb.TLB {
+		t.Errorf("middle level not marked TLB: %+v", tlb)
+	}
+}
+
+func TestRunDefaultsNameAndRegistry(t *testing.T) {
+	rep, err := Run(context.Background(), Options{
+		SimProfile:   "small-test",
+		MaxFootprint: 64 << 10,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Name != "calibrated" {
+		t.Errorf("default name = %q", rep.Name)
+	}
+	if _, err := costmodel.Profile("calibrated"); err != nil {
+		t.Errorf("default registry missing calibrated profile: %v", err)
+	}
+}
+
+func TestRunUnknownSimProfile(t *testing.T) {
+	if _, err := Run(context.Background(), Options{SimProfile: "no-such-machine", Registry: costmodel.NewRegistry()}); err == nil {
+		t.Fatal("Run accepted an unknown sim profile")
+	}
+}
+
+func TestRunCancelledRegistersNothing(t *testing.T) {
+	reg := costmodel.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Options{Name: "x", SimProfile: "small-test", Registry: reg}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := reg.Profile("x"); err == nil {
+		t.Error("cancelled run registered a profile")
+	}
+}
+
+func TestReportStringRendersTable(t *testing.T) {
+	reg := costmodel.NewRegistry()
+	rep, err := Run(context.Background(), Options{
+		Name: "r", SimProfile: "small-test", MaxFootprint: 64 << 10, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.String(); len(s) == 0 {
+		t.Error("empty report string")
+	}
+}

@@ -23,6 +23,11 @@
 // On top of the model, NewPlanner exposes a miniature cost-based
 // optimizer (join/aggregate/distinct algorithm choice), and package
 // repro/pkg/costmodel/server serves batched evaluations over HTTP.
+// Package repro/pkg/costmodel/calibrate discovers an unknown machine's
+// hierarchy and registers it as a profile (the paper's Calibrator,
+// Section 7), and repro/pkg/costmodel/validate sweeps every operator
+// pattern against reference cache simulation to quantify the model's
+// relative error on a given profile.
 //
 // The package is a facade: it re-exports (via type aliases) the stable
 // surface of the repository's internal packages so that external

@@ -1,0 +1,112 @@
+package costmodel_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/pkg/costmodel"
+)
+
+// TestRegistryConcurrentRegisterAndLookup hammers one registry from
+// many goroutines mixing Register, RegisterHierarchy, Profile, Model,
+// Names and Version. It asserts nothing beyond internal consistency —
+// its job is to fail under `go test -race` if the registry's locking
+// regresses (CI runs the race detector; calibration registering
+// profiles while the server evaluates is exactly this interleaving).
+func TestRegistryConcurrentRegisterAndLookup(t *testing.T) {
+	reg := costmodel.NewRegistry()
+	const (
+		writers    = 4
+		readers    = 4
+		iterations = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				name := fmt.Sprintf("w%d-%d", w, i%8)
+				if err := reg.Register(name, costmodel.SmallTest); err != nil {
+					t.Errorf("Register(%s): %v", name, err)
+					return
+				}
+				if err := reg.RegisterHierarchy(name+"-h", costmodel.SmallTest()); err != nil {
+					t.Errorf("RegisterHierarchy(%s): %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				// Built-ins are always resolvable, even mid-Register.
+				h, err := reg.Profile("origin2000")
+				if err != nil {
+					t.Errorf("Profile: %v", err)
+					return
+				}
+				if err := h.Validate(); err != nil {
+					t.Errorf("Profile returned invalid hierarchy: %v", err)
+					return
+				}
+				if _, err := reg.Model("small-test"); err != nil {
+					t.Errorf("Model: %v", err)
+					return
+				}
+				if names := reg.Names(); len(names) < 3 {
+					t.Errorf("Names shrank to %v", names)
+					return
+				}
+				_ = reg.Version()
+				// Freshly written names must resolve once Register
+				// returned (read-your-writes through the lock).
+				name := fmt.Sprintf("w%d-%d", r%4, i%8)
+				if _, err := reg.Profile(name); err == nil {
+					continue // may or may not exist yet; both fine
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Version must have advanced by exactly the number of successful
+	// registrations (2 per writer iteration).
+	if got, want := reg.Version(), uint64(writers*iterations*2); got != want {
+		t.Errorf("Version = %d, want %d", got, want)
+	}
+}
+
+// TestRegistryConcurrentProfileIsolation verifies that concurrent callers never
+// share hierarchy memory: mutating one returned profile must not leak
+// into another.
+func TestRegistryConcurrentProfileIsolation(t *testing.T) {
+	reg := costmodel.NewRegistry()
+	if err := reg.RegisterHierarchy("frozen", costmodel.SmallTest()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h, err := reg.Profile("frozen")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if h.Levels[0].Capacity != 1<<10 {
+					t.Errorf("profile mutated by another goroutine: %+v", h.Levels[0])
+					return
+				}
+				h.Levels[0].Capacity = int64(i) // scribble on the copy
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/pkg/costmodel/calibrate"
+	"repro/pkg/costmodel/validate"
+)
+
+// This file implements the self-calibration and validation endpoints:
+//
+//	POST /v1/calibrate   start an asynchronous calibration job; the
+//	                     discovered hierarchy is registered in the
+//	                     server's registry under the requested name and
+//	                     is immediately usable by /v1/evaluate
+//	GET  /v1/calibrate   poll a job by ?id=
+//	GET  /v1/validate    run a predicted-vs-simulated validation sweep
+//	                     and return per-operator relative errors
+//
+// Calibration measures real memory (or simulates a named profile), which
+// takes seconds to minutes — hence the async job model: POST returns 202
+// with a job id and the profile name the result will be registered
+// under; GET reports running/done/failed.
+
+// calibrateTimeout bounds one calibration job so an abandoned host sweep
+// cannot leak its goroutine forever.
+const calibrateTimeout = 10 * time.Minute
+
+// maxCalibrateJobs bounds the in-memory job table; the oldest finished
+// jobs are evicted first.
+const maxCalibrateJobs = 128
+
+// maxCalibrateFootprint caps the requested sweep footprint: the host
+// prober allocates a buffer of this size, so an unauthenticated request
+// must not be able to demand an arbitrary allocation.
+const maxCalibrateFootprint = 1 << 30
+
+// CalibrateRequest is the body of POST /v1/calibrate.
+type CalibrateRequest struct {
+	// Name is the profile name to register (default "calibrated").
+	Name string `json:"name"`
+	// SimProfile, when set, calibrates a simulated machine of the named
+	// registered profile instead of the host (deterministic; used by
+	// tests and demos).
+	SimProfile string `json:"sim_profile,omitempty"`
+	// MaxFootprintBytes bounds the sweep sizes (0 = calibrator default).
+	MaxFootprintBytes int64 `json:"max_footprint_bytes,omitempty"`
+	// ClockNS is the CPU cycle time recorded on the profile (0 = 1.0).
+	ClockNS float64 `json:"clock_ns,omitempty"`
+}
+
+// CalibrateJob is the status of one calibration job, as returned by both
+// the POST (just started) and the GET (polled) handler.
+type CalibrateJob struct {
+	ID string `json:"id"`
+	// Profile is the registry name the result is (or will be)
+	// registered under.
+	Profile string `json:"profile"`
+	// Status is "running", "done" or "failed".
+	Status string `json:"status"`
+	// Mode is "host" or "simulated".
+	Mode   string            `json:"mode"`
+	Error  string            `json:"error,omitempty"`
+	Levels []calibrate.Level `json:"levels,omitempty"`
+}
+
+// calibJobs tracks asynchronous calibration jobs.
+type calibJobs struct {
+	mu    sync.Mutex
+	seq   int
+	order []string // insertion order, for eviction
+	jobs  map[string]*calibJob
+}
+
+type calibJob struct {
+	snapshot CalibrateJob
+	done     chan struct{}
+}
+
+func newCalibJobs() *calibJobs {
+	return &calibJobs{jobs: map[string]*calibJob{}}
+}
+
+// start registers a new running job and returns its id plus the private
+// handle.
+func (c *calibJobs) start(profile, mode string) (*calibJob, CalibrateJob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	id := fmt.Sprintf("cal-%d", c.seq)
+	j := &calibJob{
+		snapshot: CalibrateJob{ID: id, Profile: profile, Status: "running", Mode: mode},
+		done:     make(chan struct{}),
+	}
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	c.evictLocked()
+	return j, j.snapshot
+}
+
+// evictLocked drops the oldest finished jobs once the table overflows.
+func (c *calibJobs) evictLocked() {
+	for len(c.jobs) > maxCalibrateJobs {
+		evicted := false
+		for i, id := range c.order {
+			j := c.jobs[id]
+			if j == nil {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+				break
+			}
+			select {
+			case <-j.done:
+				delete(c.jobs, id)
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return // everything still running; let the table grow
+		}
+	}
+}
+
+// finish records the job outcome and closes the done channel.
+func (c *calibJobs) finish(j *calibJob, rep *calibrate.Report, err error) {
+	c.mu.Lock()
+	if err != nil {
+		j.snapshot.Status = "failed"
+		j.snapshot.Error = err.Error()
+	} else {
+		j.snapshot.Status = "done"
+		j.snapshot.Levels = rep.Levels
+	}
+	c.mu.Unlock()
+	close(j.done)
+}
+
+// get returns a snapshot of the job.
+func (c *calibJobs) get(id string) (CalibrateJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return CalibrateJob{}, false
+	}
+	return j.snapshot, true
+}
+
+// WaitCalibration blocks until the calibration job with the given id
+// finishes and returns its final status; ok is false for unknown ids.
+// Intended for tests and embedders — HTTP clients poll GET /v1/calibrate.
+func (s *Server) WaitCalibration(id string) (CalibrateJob, bool) {
+	s.calib.mu.Lock()
+	j, ok := s.calib.jobs[id]
+	s.calib.mu.Unlock()
+	if !ok {
+		return CalibrateJob{}, false
+	}
+	<-j.done
+	// Read the snapshot from the handle we already hold: re-looking the
+	// id up could miss a finished job that newer POSTs evicted while we
+	// waited.
+	s.calib.mu.Lock()
+	defer s.calib.mu.Unlock()
+	return j.snapshot, true
+}
+
+func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			httpError(w, http.StatusBadRequest, "missing ?id=")
+			return
+		}
+		job, ok := s.calib.get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown calibration job "+id)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	case http.MethodPost:
+		var req CalibrateRequest
+		if err := readJSON(w, r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.MaxFootprintBytes < 0 || req.MaxFootprintBytes > maxCalibrateFootprint {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("max_footprint_bytes %d outside [0, %d]", req.MaxFootprintBytes, maxCalibrateFootprint))
+			return
+		}
+		name := req.Name
+		if name == "" {
+			name = "calibrated"
+		}
+		mode := "host"
+		if req.SimProfile != "" {
+			mode = "simulated"
+			// Fail fast on an unknown source profile instead of parking
+			// the error in a job the client has to poll.
+			if _, err := s.reg.Profile(req.SimProfile); err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		// Single-flight: a second concurrent calibration would contend
+		// for memory bandwidth and corrupt both jobs' host timings (and
+		// multiply footprint-sized buffers). The slot is held for the
+		// whole asynchronous job, not just this handler.
+		select {
+		case s.calibrating <- struct{}{}:
+		default:
+			httpError(w, http.StatusTooManyRequests, "a calibration job is already running; poll it or retry later")
+			return
+		}
+		j, snap := s.calib.start(name, mode)
+		go func() {
+			defer func() { <-s.calibrating }()
+			ctx, cancel := context.WithTimeout(context.Background(), calibrateTimeout)
+			defer cancel()
+			var rep *calibrate.Report
+			var err error
+			func() {
+				// A panic here is outside net/http's handler recovery
+				// and would kill the whole server; record it as a
+				// failed job instead.
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("calibration panicked: %v", r)
+					}
+				}()
+				rep, err = calibrate.Run(ctx, calibrate.Options{
+					Name:         name,
+					SimProfile:   req.SimProfile,
+					MaxFootprint: req.MaxFootprintBytes,
+					ClockNS:      req.ClockNS,
+					Registry:     s.reg,
+				})
+			}()
+			s.calib.finish(j, rep, err)
+		}()
+		writeJSON(w, http.StatusAccepted, snap)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use POST to start, GET ?id= to poll")
+	}
+}
+
+// handleValidate runs a predicted-vs-simulated sweep for
+// GET /v1/validate?profile=origin2000&quick=1&ops=scan,hash-join.
+// Quick defaults to on: the full sweep simulates multi-MB workloads and
+// is meant for the CLI; pass quick=0 deliberately. The sweep runs on the
+// request context, so a disconnecting client aborts it. Sweeps are
+// single-flighted: one sweep already saturates its own worker pool
+// (Config.Workers), so a second concurrent request gets 429 rather
+// than multiplying simulators.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	select {
+	case s.validating <- struct{}{}:
+		defer func() { <-s.validating }()
+	default:
+		httpError(w, http.StatusTooManyRequests, "a validation sweep is already running; retry later")
+		return
+	}
+	// A full (quick=0) sweep can outlive the server's WriteTimeout,
+	// which is sized for millisecond evaluations; lift the write
+	// deadline for this response so the sweep's result can still be
+	// delivered. Best effort: not every ResponseWriter supports it.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	q := r.URL.Query()
+	opts := validate.Options{
+		Registry: s.reg,
+		Profile:  q.Get("profile"),
+		Quick:    true,
+		Workers:  cap(s.sem),
+	}
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad quick value "+v)
+			return
+		}
+		opts.Quick = quick
+	}
+	if ops := q.Get("ops"); ops != "" {
+		opts.Operators = strings.Split(ops, ",")
+	}
+	rep, err := validate.Run(r.Context(), opts)
+	if err != nil {
+		// Client mistakes (bad profile/operator names) are 400; a sweep
+		// that started and then failed is a server-side defect and must
+		// surface as 500, not blame the caller.
+		status := http.StatusInternalServerError
+		switch {
+		case r.Context().Err() != nil:
+			status = 499 // client closed request
+		case errors.Is(err, validate.ErrInvalidOptions):
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

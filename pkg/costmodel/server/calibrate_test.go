@@ -1,0 +1,190 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/pkg/costmodel"
+	"repro/pkg/costmodel/server"
+)
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestCalibrateThenEvaluate is the zero-configuration flow: calibrate a
+// (simulated) machine through the API, then cost a pattern on the
+// discovered profile with /v1/evaluate — no restart, no hand-written
+// profile.
+func TestCalibrateThenEvaluate(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{Registry: costmodel.NewRegistry()})
+
+	resp, body := postJSON(t, ts.URL+"/v1/calibrate", server.CalibrateRequest{
+		Name:              "lab-box",
+		SimProfile:        "small-test",
+		MaxFootprintBytes: 64 << 10,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/calibrate = %d: %s", resp.StatusCode, body)
+	}
+	var job server.CalibrateJob
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Profile != "lab-box" || job.Mode != "simulated" {
+		t.Fatalf("job = %+v", job)
+	}
+
+	final, ok := srv.WaitCalibration(job.ID)
+	if !ok {
+		t.Fatalf("job %s vanished", job.ID)
+	}
+	if final.Status != "done" {
+		t.Fatalf("job = %+v", final)
+	}
+	if len(final.Levels) == 0 {
+		t.Fatal("done job carries no levels")
+	}
+
+	// Polling must agree with the blocking wait.
+	var polled server.CalibrateJob
+	if resp := getJSON(t, ts.URL+"/v1/calibrate?id="+job.ID, &polled); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job = %d", resp.StatusCode)
+	}
+	if polled.Status != "done" || len(polled.Levels) != len(final.Levels) {
+		t.Fatalf("polled = %+v", polled)
+	}
+
+	// The calibrated profile is immediately usable by /v1/evaluate.
+	resp, body = postJSON(t, ts.URL+"/v1/evaluate", server.EvalRequest{
+		Profile: "lab-box",
+		Regions: []server.RegionDecl{{Name: "U", Items: 1 << 16, Width: 8}},
+		Pattern: "s_trav(U)",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate on calibrated profile = %d: %s", resp.StatusCode, body)
+	}
+	var res server.EvalResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" || res.MemoryNS <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// And it shows up in /v1/profiles.
+	var profs struct {
+		Profiles []server.ProfileInfo `json:"profiles"`
+	}
+	getJSON(t, ts.URL+"/v1/profiles", &profs)
+	found := false
+	for _, p := range profs.Profiles {
+		if p.Name == "lab-box" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("calibrated profile missing from /v1/profiles")
+	}
+}
+
+func TestCalibrateRejectsUnknownSimProfile(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Registry: costmodel.NewRegistry()})
+	resp, body := postJSON(t, ts.URL+"/v1/calibrate", server.CalibrateRequest{
+		SimProfile: "no-such-machine",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestCalibrateRejectsBadFootprint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Registry: costmodel.NewRegistry()})
+	// Negative would panic make([]byte, n) in the job goroutine (killing
+	// the process); huge would be an unauthenticated giant allocation.
+	for _, bad := range []int64{-1, 1 << 45} {
+		resp, body := postJSON(t, ts.URL+"/v1/calibrate", server.CalibrateRequest{
+			MaxFootprintBytes: bad,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("footprint %d: status = %d: %s", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestCalibrateJobLifecycleErrors(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Registry: costmodel.NewRegistry()})
+	var out map[string]any
+
+	if resp := getJSON(t, ts.URL+"/v1/calibrate", &out); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET without id = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/calibrate?id=cal-999", &out); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown id = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/calibrate", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE = %d", resp.StatusCode)
+	}
+}
+
+func TestValidateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Registry: costmodel.NewRegistry()})
+	var rep struct {
+		Profile   string `json:"profile"`
+		Operators []struct {
+			Operator     string  `json:"operator"`
+			MeanRelError float64 `json:"mean_rel_error"`
+		} `json:"operators"`
+		MeanRelError float64 `json:"mean_rel_error"`
+	}
+	url := fmt.Sprintf("%s/v1/validate?profile=small-test&ops=%s",
+		ts.URL, strings.Join([]string{"scan", "aggregate"}, ","))
+	if resp := getJSON(t, url, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/validate = %d", resp.StatusCode)
+	}
+	if rep.Profile != "small-test" || len(rep.Operators) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, op := range rep.Operators {
+		if op.Operator == "" {
+			t.Errorf("unnamed operator in %+v", rep)
+		}
+	}
+}
+
+func TestValidateEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Registry: costmodel.NewRegistry()})
+	var out map[string]any
+	if resp := getJSON(t, ts.URL+"/v1/validate?profile=nope", &out); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown profile = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/validate?quick=maybe", &out); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad quick = %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/validate", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d", resp.StatusCode)
+	}
+}

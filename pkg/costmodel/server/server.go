@@ -6,11 +6,17 @@
 //	POST /v1/evaluate   evaluate one request, or a {"requests": [...]}
 //	                    batch fanned out across a bounded worker pool
 //	GET  /v1/profiles   list the registered hardware profiles
+//	POST /v1/calibrate  start an async hardware self-calibration job;
+//	                    GET ?id= polls it (see calibrate.go)
+//	GET  /v1/validate   predicted-vs-simulated validation sweep with
+//	                    per-operator relative errors
 //	GET  /healthz       liveness probe
 //
 // Repeated (pattern, regions, profile) evaluations are memoized in an
 // LRU result cache; responses carry a "cached" flag so callers (and
-// tests) can observe the hit path.
+// tests) can observe the hit path. A calibrated profile lands in the
+// same registry /v1/evaluate resolves names through, so "calibrate this
+// machine, then cost plans on it" needs no restart.
 package server
 
 import (
@@ -48,6 +54,16 @@ type Server struct {
 	reg   *costmodel.Registry
 	sem   chan struct{}
 	cache *lruCache
+	calib *calibJobs
+	// validating single-flights GET /v1/validate: one sweep already
+	// saturates its own worker pool, so concurrent sweeps would only
+	// multiply simulator memory and defeat the Workers bound.
+	validating chan struct{}
+	// calibrating single-flights POST /v1/calibrate jobs: concurrent
+	// host calibrations would contend for memory bandwidth and corrupt
+	// each other's wall-clock latency estimates (and each job may hold
+	// a footprint-sized buffer).
+	calibrating chan struct{}
 }
 
 // New returns a server with the given configuration.
@@ -68,7 +84,14 @@ func New(cfg Config) *Server {
 	if size > 0 {
 		cache = newLRUCache(size)
 	}
-	return &Server{reg: reg, sem: make(chan struct{}, workers), cache: cache}
+	return &Server{
+		reg:         reg,
+		sem:         make(chan struct{}, workers),
+		cache:       cache,
+		calib:       newCalibJobs(),
+		validating:  make(chan struct{}, 1),
+		calibrating: make(chan struct{}, 1),
+	}
 }
 
 // Handler returns the HTTP handler serving the v1 API.
@@ -76,6 +99,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/v1/profiles", s.handleProfiles)
+	mux.HandleFunc("/v1/calibrate", s.handleCalibrate)
+	mux.HandleFunc("/v1/validate", s.handleValidate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -389,6 +414,21 @@ func (s *Server) CacheLen() int {
 		return 0
 	}
 	return s.cache.len()
+}
+
+// readJSON decodes a size-capped request body into v.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil // an empty body means all-default fields
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,108 @@
+// Package validate checks the cost model against reference simulation:
+// it sweeps every operator pattern of the engine (scan, sort, merge- and
+// hash-join, partitioning, multi-pass radix partitioning, B-tree lookup
+// batches, aggregation) across data sizes, runs each operator in
+// simulated memory with the cache simulator counting misses, and reports
+// the relative error between the model's predicted memory time (Eq. 3.1)
+// and the simulator's latency-scored measurement — the paper's Section 6
+// validation methodology, condensed into one number per operator.
+//
+// Because both sides price misses with the same per-level latencies, the
+// relative error isolates miss-count accuracy: it answers "how well do
+// Eqs. 4.2–4.9 and the Section 5 combination rules predict this
+// hierarchy" for every operator at once. Use it after calibrating a new
+// machine (package repro/pkg/costmodel/calibrate) to see whether the
+// discovered profile is trustworthy before optimizing against it.
+//
+//	rep, err := validate.Run(ctx, validate.Options{Profile: "origin2000", Quick: true})
+//	fmt.Printf("mean relative error: %.3f\n", rep.MeanRelError)
+//
+// The same harness backs `costmodel validate` (whose -json flag writes
+// the BENCH_validate.json trajectory file) and the server's
+// GET /v1/validate endpoint.
+package validate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/pkg/costmodel"
+)
+
+// ErrInvalidOptions marks caller mistakes in Options (unknown profile
+// or operator, undersized sweep, invalid hierarchy), as opposed to
+// internal sweep failures; test with errors.Is.
+var ErrInvalidOptions = experiments.ErrInvalidConfig
+
+// Options configures a validation sweep.
+type Options struct {
+	// Profile names the registered hardware profile to validate
+	// (default "origin2000"). Ignored when Hierarchy is set.
+	Profile string
+	// Hierarchy validates an explicit hierarchy instead of a registered
+	// profile.
+	Hierarchy *costmodel.Hierarchy
+	// Registry resolves Profile; nil means the package default.
+	Registry *costmodel.Registry
+	// Operators selects operators by name (default Operators()).
+	Operators []string
+	// Sizes are the swept relation sizes in bytes (default
+	// 128 kB / 512 kB / 2 MB; Quick shrinks to 32 kB / 128 kB).
+	Sizes []int64
+	// Quick selects the small size set for smoke runs.
+	Quick bool
+	// Workers bounds concurrently simulated grid points; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Seed drives workload generation (default 42).
+	Seed uint64
+}
+
+// Report is a full validation report; it marshals to the
+// BENCH_validate.json schema (see docs/validation.md).
+type Report = experiments.Validation
+
+// OperatorReport aggregates one operator's sweep.
+type OperatorReport = experiments.OperatorValidation
+
+// Point is one (operator, size) measurement.
+type Point = experiments.ValidationPoint
+
+// Operators lists the names of all validated operators.
+func Operators() []string { return experiments.ValidationOperators() }
+
+// DefaultWorkers returns the worker-pool size used when Options.Workers
+// is 0.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes the validation sweep described by opts. Grid points run
+// concurrently on a bounded worker pool; the context cancels the sweep
+// between points.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	hier := opts.Hierarchy
+	if hier == nil {
+		reg := opts.Registry
+		if reg == nil {
+			reg = costmodel.DefaultRegistry()
+		}
+		name := opts.Profile
+		if name == "" {
+			name = "origin2000"
+		}
+		h, err := reg.Profile(name)
+		if err != nil {
+			return nil, fmt.Errorf("validate: %w: %v", ErrInvalidOptions, err)
+		}
+		hier = h
+	}
+	return experiments.RunValidation(ctx, experiments.ValidationConfig{
+		Hier:      hier,
+		Sizes:     opts.Sizes,
+		Operators: opts.Operators,
+		Quick:     opts.Quick,
+		Seed:      opts.Seed,
+		Workers:   opts.Workers,
+	})
+}

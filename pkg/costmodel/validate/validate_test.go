@@ -1,0 +1,103 @@
+package validate
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/pkg/costmodel"
+)
+
+func smallOpts() Options {
+	return Options{
+		Profile: "small-test",
+		Sizes:   []int64{4 << 10, 16 << 10},
+		Quick:   true,
+	}
+}
+
+func TestRunByProfileName(t *testing.T) {
+	rep, err := Run(context.Background(), smallOpts())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Profile != "small-test" {
+		t.Errorf("profile = %q", rep.Profile)
+	}
+	if got, want := len(rep.Operators), len(Operators()); got != want {
+		t.Fatalf("%d operators, want %d", got, want)
+	}
+	if rep.MeanRelError <= 0 {
+		t.Error("zero overall relative error is implausible for a real sweep")
+	}
+}
+
+func TestRunUnknownProfile(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Profile: "no-such-machine"}); err == nil {
+		t.Fatal("Run accepted an unknown profile")
+	}
+}
+
+func TestRunExplicitHierarchy(t *testing.T) {
+	rep, err := Run(context.Background(), Options{
+		Hierarchy: costmodel.SmallTest(),
+		Sizes:     []int64{4 << 10},
+		Operators: []string{"scan"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Operators) != 1 || rep.Operators[0].Operator != "scan" {
+		t.Fatalf("operators = %+v", rep.Operators)
+	}
+}
+
+func TestReportJSONSchema(t *testing.T) {
+	opts := smallOpts()
+	opts.Operators = []string{"scan", "aggregate"}
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Profile   string `json:"profile"`
+		Operators []struct {
+			Operator     string  `json:"operator"`
+			Pattern      string  `json:"pattern"`
+			MeanRelError float64 `json:"mean_rel_error"`
+			Points       []struct {
+				Bytes       int64   `json:"bytes"`
+				MeasuredNS  float64 `json:"measured_ns"`
+				PredictedNS float64 `json:"predicted_ns"`
+				RelError    float64 `json:"rel_error"`
+			} `json:"points"`
+		} `json:"operators"`
+		MeanRelError *float64 `json:"mean_rel_error"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Profile != "small-test" || len(decoded.Operators) != 2 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if decoded.MeanRelError == nil {
+		t.Error("mean_rel_error missing from JSON")
+	}
+	for _, op := range decoded.Operators {
+		if op.Pattern == "" || len(op.Points) != 2 {
+			t.Errorf("operator %q malformed: %+v", op.Operator, op)
+		}
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, smallOpts()); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
