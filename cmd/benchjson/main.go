@@ -1,0 +1,202 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into the BENCH_eval.json schema on stdout: one record per
+// benchmark (ns/op, B/op, allocs/op) plus a speedup section pairing
+// each Evaluate/tree/<pattern> with its Evaluate/ir/<pattern>
+// counterpart. CI runs it after the bench smoke job and uploads the
+// result as an artifact; the first snapshot is committed at the repo
+// root.
+//
+//	go test -run '^$' -bench 'BenchmarkEvaluate' -benchmem . | go run ./cmd/benchjson > BENCH_eval.json
+//
+// With -check, the acceptance bar of the cost IR is enforced: every
+// /ir/ benchmark must report 0 allocs/op, and the hash-join pattern —
+// the representative compound pattern — must show at least a 5x
+// speedup over the tree walker (the committed snapshot records ~10x,
+// leaving headroom for noisy CI runners). Violations exit non-zero so
+// the bench-smoke job fails instead of silently uploading a
+// regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Acceptance thresholds enforced by -check.
+const (
+	checkPattern    = "hashjoin"
+	checkMinSpeedup = 5.0
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Speedup pairs the tree walker and IR evaluator on one pattern.
+type Speedup struct {
+	Pattern       string  `json:"pattern"`
+	TreeNsPerOp   float64 `json:"tree_ns_per_op"`
+	IRNsPerOp     float64 `json:"ir_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	IRAllocsPerOp float64 `json:"ir_allocs_per_op"`
+}
+
+// Report is the BENCH_eval.json schema.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	check := flag.Bool("check", false,
+		"fail unless every /ir/ benchmark has 0 allocs/op and the "+checkPattern+" speedup is ≥ 5x")
+	flag.Parse()
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *check {
+		if err := rep.checkAcceptance(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkAcceptance enforces the cost-IR acceptance bar on the parsed
+// report.
+func (rep *Report) checkAcceptance() error {
+	for _, b := range rep.Benchmarks {
+		if strings.Contains(b.Name, "/ir/") && b.AllocsPerOp != 0 {
+			return fmt.Errorf("%s allocates %.1f objects/op, want 0", b.Name, b.AllocsPerOp)
+		}
+	}
+	for _, s := range rep.Speedups {
+		if s.Pattern == checkPattern {
+			if s.Speedup < checkMinSpeedup {
+				return fmt.Errorf("%s speedup %.2fx below the %.0fx acceptance bar",
+					s.Pattern, s.Speedup, checkMinSpeedup)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("no %s tree/ir pair in the benchmark output", checkPattern)
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+	return rep, nil
+}
+
+// parseBenchLine parses e.g.
+//
+//	BenchmarkEvaluate/ir/hashjoin-8  849340  1291 ns/op  0 B/op  0 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iter}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// speedups pairs <prefix>/tree/<pattern> with <prefix>/ir/<pattern>.
+func speedups(benches []Benchmark) []Speedup {
+	tree := map[string]Benchmark{}
+	ir := map[string]Benchmark{}
+	var order []string
+	for _, b := range benches {
+		switch {
+		case strings.Contains(b.Name, "/tree/"):
+			key := b.Name[strings.Index(b.Name, "/tree/")+len("/tree/"):]
+			tree[key] = b
+			order = append(order, key)
+		case strings.Contains(b.Name, "/ir/"):
+			ir[b.Name[strings.Index(b.Name, "/ir/")+len("/ir/"):]] = b
+		}
+	}
+	var out []Speedup
+	for _, key := range order {
+		tb, irb := tree[key], ir[key]
+		if irb.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Pattern:       key,
+			TreeNsPerOp:   tb.NsPerOp,
+			IRNsPerOp:     irb.NsPerOp,
+			Speedup:       tb.NsPerOp / irb.NsPerOp,
+			IRAllocsPerOp: irb.AllocsPerOp,
+		})
+	}
+	return out
+}

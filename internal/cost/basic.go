@@ -1,35 +1,27 @@
 package cost
 
 import (
-	"math"
-
-	"repro/internal/combinatorics"
+	"repro/internal/costmath"
 	"repro/internal/pattern"
 	"repro/internal/region"
 )
 
-// This file implements the per-pattern cache-miss formulas of Section 4
-// of the paper (Eqs. 4.2 through 4.9). Every function works on one cache
-// level, described by levelParams, and returns expected miss counts.
+// This file dispatches basic patterns to the per-pattern cache-miss
+// formulas of Section 4 of the paper (Eqs. 4.2 through 4.9). The
+// arithmetic itself lives in internal/costmath — one leaf package shared
+// with the flat-IR evaluator (internal/costir) so the two evaluators
+// cannot drift apart formula-by-formula. The thin wrappers below adapt
+// the shared kernel to this package's *region.Region plumbing and keep
+// the original names the unit tests exercise.
 
 // linesPerItem returns the expected number of cache lines of size B that
-// an access to u consecutive bytes touches, averaged over all B possible
-// alignments of the item within a line (the paper's Eq. 4.3/4.5 term):
-//
-//	⌈u/B⌉ + ((u−1) mod B) / B
-//
-// For u aligned at the start of a line ⌈u/B⌉ lines suffice; (u−1) mod B
-// of the B alignments need one extra line.
-func linesPerItem(u, b float64) float64 {
-	if u <= 0 {
-		return 0
-	}
-	return math.Ceil(u/b) + math.Mod(u-1, b)/b
-}
+// an access to u consecutive bytes touches (the paper's Eq. 4.3/4.5
+// term).
+func linesPerItem(u, b float64) float64 { return costmath.LinesPerItem(u, b) }
 
 // linesCovered returns |R|_B = ⌈‖R‖ / B⌉.
 func linesCovered(r *region.Region, b float64) float64 {
-	return math.Ceil(float64(r.Size()) / b)
+	return costmath.LinesCovered(r.Size(), b)
 }
 
 // used resolves the bytes-used parameter (0 means the full item width).
@@ -38,223 +30,57 @@ func used(u int64, r *region.Region) float64 {
 }
 
 // gapSmall reports whether the untouched gap between adjacent accesses is
-// smaller than a cache line: R.w − u < B. In that case every line covered
-// by R gets loaded during a traversal.
+// smaller than a cache line: R.w − u < B.
 func gapSmall(r *region.Region, u, b float64) bool {
-	return float64(r.W)-u < b
+	return costmath.GapSmall(r.W, u, b)
 }
 
 // sTravCount returns the miss count of a single sequential traversal
-// (Eqs. 4.2 and 4.3). The classification (sequential vs random) is
-// applied by the caller, because the s_trav° and s_trav~ variants share
-// the count.
+// (Eqs. 4.2 and 4.3).
 func sTravCount(lp levelParams, r *region.Region, u int64) float64 {
-	uu := used(u, r)
-	if gapSmall(r, uu, lp.B) {
-		// Eq. 4.2: the gaps are smaller than a line, so every covered
-		// line is loaded exactly once.
-		return linesCovered(r, lp.B)
-	}
-	// Eq. 4.3: each item loads its own lines; average over alignments.
-	return float64(r.N) * linesPerItem(uu, lp.B)
+	return costmath.STravCount(lp, r.N, r.W, used(u, r))
 }
 
 // rTravCount returns the miss count of a single random traversal
 // (Eqs. 4.4 and 4.5).
 func rTravCount(lp levelParams, r *region.Region, u int64) float64 {
-	uu := used(u, r)
-	if !gapSmall(r, uu, lp.B) {
-		// Eq. 4.5: with gaps larger than a line no access benefits from a
-		// previously loaded line, so the count equals the sequential case.
-		return float64(r.N) * linesPerItem(uu, lp.B)
-	}
-	// Eq. 4.4: all covered lines are loaded at least once. Once the
-	// region exceeds the cache, a line that serves several (locally
-	// adjacent, temporally scattered) accesses may be evicted in
-	// between; the extra misses grow with the excess |R| − #, and can
-	// occur only for the accesses beyond the C/R.w items that fit.
-	lines := linesCovered(r, lp.B)
-	m := lines
-	if lines > lp.L {
-		nInCache := lp.C / float64(r.W)
-		extraAccesses := float64(r.N) - nInCache
-		if extraAccesses > 0 {
-			m += extraAccesses * (lines - lp.L) / lines
-		}
-	}
-	return m
+	return costmath.RTravCount(lp, r.N, r.W, used(u, r))
 }
 
 // rsTravCount returns the miss count of a repetitive sequential traversal
 // (Eq. 4.6) given the single-traversal count m0.
 func rsTravCount(lp levelParams, m0 float64, repeats int64, dir pattern.Direction) float64 {
-	r := float64(repeats)
-	switch {
-	case m0 <= lp.L:
-		// Everything fits: only the first traversal misses.
-		return m0
-	case dir == pattern.Uni:
-		// Each sweep starts where the cache holds nothing useful.
-		return r * m0
-	default: // Bi
-		// A reversing sweep reuses the # lines left by its predecessor.
-		return m0 + (r-1)*(m0-lp.L)
-	}
+	return costmath.RSTravCount(lp, m0, repeats, dir)
 }
 
 // rrTravCount returns the miss count of a repetitive random traversal
 // (Eq. 4.7) given the single-traversal count m0.
 func rrTravCount(lp levelParams, m0 float64, repeats int64) float64 {
-	r := float64(repeats)
-	if m0 <= lp.L {
-		return m0
-	}
-	// A subsequent sweep finds each of the # resident lines useful with
-	// probability #/m0.
-	return m0 + (r-1)*(m0-lp.L*lp.L/m0)
+	return costmath.RRTravCount(lp, m0, repeats)
 }
 
 // rAccLines returns the expected number of distinct cache lines ℓ
-// touched by r_acc (the Section 4.6 derivation): the expected distinct
-// item count D (Stirling expectation, closed form) mapped to lines via
-// the dense/sparse interpolation.
+// touched by r_acc (the Section 4.6 derivation).
 func rAccLines(lp levelParams, r *region.Region, u, count int64) float64 {
-	uu := used(u, r)
-	// Expected number of distinct items touched by `count` independent
-	// uniform accesses (closed form of the Stirling-number expectation).
-	d := combinatorics.ExpectedDistinct(r.N, count)
-	if d == 0 {
-		return 0
-	}
-
-	// Expected number of distinct lines touched.
-	var lines float64
-	if !gapSmall(r, uu, lp.B) {
-		// Gaps larger than a line: no line serves two items.
-		lines = d * linesPerItem(uu, lp.B)
-	} else {
-		// Dense bound: the d items pairwise adjacent.
-		dense := d * float64(r.W) / lp.B
-		// Sparse bound: gaps still larger than a line despite w−u < B.
-		sparse := d * linesPerItem(uu, lp.B)
-		if cov := linesCovered(r, lp.B); sparse > cov {
-			sparse = cov
-		}
-		// Linear combination: dense is likely when d approaches R.n.
-		lambda := d / float64(r.N)
-		lines = lambda*dense + (1-lambda)*sparse
-	}
-	if lines < 1 {
-		lines = 1
-	}
-	return lines
+	return costmath.RAccLines(lp, r.N, r.W, used(u, r), count)
 }
 
 // rAccCount returns the miss count of r_acc (Eq. 4.8 and the preceding
 // derivation in Section 4.6).
 func rAccCount(lp levelParams, r *region.Region, u, count int64) float64 {
-	lines := rAccLines(lp, r, u, count)
-	if lines == 0 {
-		return 0
-	}
-	if lines <= lp.L {
-		return lines
-	}
-	// The hot set exceeds the cache: beyond the ℓ compulsory misses,
-	// each line fetch finds its line resident only with probability #/ℓ
-	// (the cache retains # of the ℓ hot lines). An access of u bytes is
-	// max(1, u/B) line fetches, so the remaining count·max(1,u/B) − ℓ
-	// fetches each miss with probability 1 − #/ℓ. (Reconstruction of
-	// Eq. 4.8's tail; validated against LRU simulation to within a few
-	// percent across count/size/width sweeps.)
-	perAccess := used(u, r) / lp.B
-	if perAccess < 1 {
-		perAccess = 1
-	}
-	extra := float64(count)*perAccess - lines
-	if extra < 0 {
-		extra = 0
-	}
-	return lines + extra*(1-lp.L/lines)
+	return costmath.RAccCount(lp, r.N, r.W, used(u, r), count)
 }
 
 // nestMisses returns the misses of an interleaved multi-cursor access
-// (Section 4.7, Eq. 4.9). Unlike the other basics it returns a full
-// Misses pair because its base misses and its extra cross-traversal
-// misses can carry different classifications.
+// (Section 4.7, Eq. 4.9).
 func nestMisses(lp levelParams, p pattern.Nest) Misses {
-	r := p.R
-	switch p.Inner {
-	case InnerRTravKind:
-		// Local random access: the whole pattern behaves like a single
-		// random traversal of R (Section 4.7.1).
-		return Misses{Rnd: rTravCount(lp, r, p.U)}
-	case InnerRAccKind:
-		// m local cursors, each performing Count random accesses: in
-		// total m·Count independent accesses over R.
-		return Misses{Rnd: rAccCount(lp, r, p.U, p.M*p.Count)}
-	}
-
-	// Local sequential access (Section 4.7.2).
-	uu := used(p.U, r)
-	seqKind := p.Order != pattern.OrderRandom && !p.NoSeq
-
-	if !gapSmall(r, uu, lp.B) {
-		// Case ⟨1⟩ R.w − u ≥ B: the pattern amounts to R.n/m cross
-		// traversals of m slots with stride ‖R_j‖; no line is shared, so
-		// the count equals the plain traversal over R. A random global
-		// order makes the misses random.
-		count := float64(r.N) * linesPerItem(uu, lp.B)
-		return classify(count, seqKind)
-	}
-
-	// Lines touched by one cross-traversal: one slot per sub-region.
-	lCross := float64(p.M) * math.Ceil(uu/lp.B)
-	base := linesCovered(r, lp.B)
-
-	if lCross <= lp.L {
-		// Case ⟨2⟩: a full cross-traversal fits in the cache, so the
-		// lines shared between subsequent cross-traversals survive; the
-		// total is the sum of the local sequential patterns.
-		return classify(base, seqKind)
-	}
-
-	// Case ⟨3⟩: a cross-traversal exceeds the cache; only some lines
-	// survive until the next cross-traversal, the rest are reloaded.
-	var reuse float64
-	switch p.Order {
-	case pattern.OrderUni:
-		reuse = 0
-	case pattern.OrderBi:
-		reuse = lp.L
-	default: // random global order: probabilistic reuse as in Eq. 4.7
-		reuse = lp.L * lp.L / lCross
-	}
-	sweeps := float64(r.N) / float64(p.M)
-	delta := (sweeps - 1) * (lCross - reuse)
-	if delta < 0 {
-		delta = 0
-	}
-	m := classify(base, seqKind)
-	m.Rnd += delta // the reloads are scattered: random latency
-	return m
+	return costmath.NestCounts(lp, p.R.N, p.R.W, used(p.U, p.R), p.M, p.Inner, p.Count, p.Order, p.NoSeq)
 }
-
-// Aliases so nestMisses can switch without importing pattern constants
-// under longer names.
-const (
-	InnerSTravKind = pattern.InnerSTrav
-	InnerRTravKind = pattern.InnerRTrav
-	InnerRAccKind  = pattern.InnerRAcc
-)
 
 // classify wraps a raw miss count into a Misses pair according to
 // whether the pattern achieves sequential latency.
 func classify(count float64, seq bool) Misses {
-	if seq {
-		return Misses{Seq: count}
-	}
-	return Misses{Rnd: count}
+	return costmath.Classify(count, seq)
 }
 
 // basicMisses dispatches a basic pattern to its Section-4 formula,

@@ -28,7 +28,7 @@ func evalLevel(lp levelParams, st State, p pattern.Pattern) (Misses, State) {
 		for _, sub := range q {
 			var mi Misses
 			mi, cur = evalLevel(lp, cur, sub)
-			total = total.add(mi)
+			total = total.Add(mi)
 		}
 		return total, cur
 
@@ -48,9 +48,9 @@ func evalLevel(lp levelParams, st State, p pattern.Pattern) (Misses, State) {
 				// stream through at least a line's worth of cache.
 				nu = 1 / lp.L
 			}
-			slp := lp.scaled(nu)
+			slp := lp.Scaled(nu)
 			mi, subState := evalLevel(slp, st, sub)
-			sum = sum.add(mi)
+			sum = sum.Add(mi)
 			// After ⊙ the cache holds a fraction of each region
 			// proportional to its pattern's share.
 			for r, f := range subState {
@@ -214,7 +214,7 @@ func stateAdjusted(lp levelParams, st State, p pattern.Pattern) Misses {
 		}
 	}
 	if isRandomPattern(p) {
-		return cold.scale(1 - rho)
+		return cold.Scale(1 - rho)
 	}
 	return cold
 }

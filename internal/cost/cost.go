@@ -13,24 +13,19 @@ package cost
 import (
 	"fmt"
 
+	"repro/internal/costir"
+	"repro/internal/costmath"
 	"repro/internal/hardware"
 	"repro/internal/pattern"
 	"repro/internal/region"
 )
 
 // Misses is the paper's per-level pair (M^s, M^r): expected sequential
-// and random cache misses.
-type Misses struct {
-	Seq float64
-	Rnd float64
-}
-
-// Total returns M^s + M^r.
-func (m Misses) Total() float64 { return m.Seq + m.Rnd }
-
-func (m Misses) add(o Misses) Misses { return Misses{m.Seq + o.Seq, m.Rnd + o.Rnd} }
-
-func (m Misses) scale(f float64) Misses { return Misses{m.Seq * f, m.Rnd * f} }
+// and random cache misses. It is shared (as a type alias) with the
+// formula kernel internal/costmath and the flat-IR evaluator
+// internal/costir, so results flow between the evaluators without
+// conversion.
+type Misses = costmath.Misses
 
 // State describes the contents of one cache level as the fraction of
 // each data region that is resident (the paper's set of ⟨R, ρ⟩ pairs).
@@ -117,14 +112,47 @@ func (m *Model) ColdStates() []State {
 	return out
 }
 
-// Evaluate predicts the misses of p on cold caches.
+// Evaluate predicts the misses of p on cold caches. It is a thin
+// wrapper over the flat-IR path: the pattern is compiled once
+// (canonicalized, regions deduplicated) and evaluated by the
+// allocation-free stack evaluator in internal/costir. Callers that
+// evaluate the same pattern repeatedly — possibly across several
+// hierarchies — should costir.Compile once themselves and call
+// EvaluateCompiled (or Program.Evaluate directly).
 func (m *Model) Evaluate(p pattern.Pattern) (*Result, error) {
+	prog, err := costir.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return m.EvaluateCompiled(prog), nil
+}
+
+// EvaluateCompiled predicts the misses of an already-compiled pattern
+// on cold caches.
+func (m *Model) EvaluateCompiled(prog *costir.Program) *Result {
+	misses := prog.Evaluate(m.hier, make([]Misses, 0, len(m.hier.Levels)))
+	res := &Result{PerLevel: make([]LevelResult, len(m.hier.Levels))}
+	for i, spec := range m.hier.Levels {
+		res.PerLevel[i] = LevelResult{Level: spec, Misses: misses[i]}
+	}
+	return res
+}
+
+// EvaluateTree predicts the misses of p on cold caches using the
+// original recursive tree walker. It is retained as the reference
+// oracle the IR evaluator is property-tested against (and as the
+// engine behind Explain and EvaluateFrom, which need per-node and
+// warm-state access the flat program does not expose). Production
+// callers should use Evaluate.
+func (m *Model) EvaluateTree(p pattern.Pattern) (*Result, error) {
 	res, _, err := m.EvaluateFrom(m.ColdStates(), p)
 	return res, err
 }
 
 // EvaluateFrom predicts the misses of p given per-level initial cache
-// states, returning also the per-level states after p completed.
+// states, returning also the per-level states after p completed. It
+// always uses the tree walker: arbitrary warm states are keyed by
+// region pointer, which the compiled representation abstracts away.
 func (m *Model) EvaluateFrom(states []State, p pattern.Pattern) (*Result, []State, error) {
 	if err := pattern.Validate(p); err != nil {
 		return nil, nil, err
@@ -162,15 +190,11 @@ func (m *Model) TotalTimeNS(p pattern.Pattern, cpuNS float64) (float64, error) {
 	return tm + cpuNS, nil
 }
 
-// levelParams are the per-level quantities the formulas use. Capacity
-// and line count are float64 because concurrent execution divides the
-// cache among patterns in footprint proportion (Eq. 5.3), yielding
-// fractional effective capacities.
-type levelParams struct {
-	C float64 // (effective) capacity in bytes
-	B float64 // line size in bytes
-	L float64 // (effective) number of lines, C/B
-}
+// levelParams are the per-level quantities the formulas use, shared
+// with the formula kernel. Capacity and line count are float64 because
+// concurrent execution divides the cache among patterns in footprint
+// proportion (Eq. 5.3), yielding fractional effective capacities.
+type levelParams = costmath.Level
 
 func paramsFor(spec hardware.Level) levelParams {
 	return levelParams{
@@ -178,10 +202,4 @@ func paramsFor(spec hardware.Level) levelParams {
 		B: float64(spec.LineSize),
 		L: float64(spec.Lines()),
 	}
-}
-
-// scaled returns the level with capacity and line count multiplied by nu
-// (0 < nu ≤ 1), the cache-division step of Eq. 5.3.
-func (lp levelParams) scaled(nu float64) levelParams {
-	return levelParams{C: lp.C * nu, B: lp.B, L: lp.L * nu}
 }

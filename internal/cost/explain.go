@@ -92,7 +92,7 @@ func (e *Explanation) explain(lps []levelParams, states []State, p pattern.Patte
 			var mi []Misses
 			mi, cur = e.explain(lps, cur, sub, depth+1)
 			for i := range total {
-				total[i] = total[i].add(mi[i])
+				total[i] = total[i].Add(mi[i])
 			}
 		}
 		node.PerLevel = total
@@ -121,13 +121,13 @@ func (e *Explanation) explain(lps []levelParams, states []State, p pattern.Patte
 				if nu <= 0 {
 					nu = 1 / lp.L
 				}
-				mi, st := evalLevel(lp.scaled(nu), states[i], sub)
+				mi, st := evalLevel(lp.Scaled(nu), states[i], sub)
 				subMisses[i] = mi
 				subStates[i] = st
 			}
 			e.appendChild(lps, subMisses, sub, depth+1)
 			for i := range total {
-				total[i] = total[i].add(subMisses[i])
+				total[i] = total[i].Add(subMisses[i])
 				for r, f := range subStates[i] {
 					if f > after[i][r] {
 						after[i][r] = f

@@ -1,0 +1,314 @@
+package costir
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+)
+
+func mustCompile(t *testing.T, p pattern.Pattern) *Program {
+	t.Helper()
+	prog, err := Compile(p)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", p, err)
+	}
+	return prog
+}
+
+func totalMisses(ms []Misses) float64 {
+	var t float64
+	for _, m := range ms {
+		t += m.Total()
+	}
+	return t
+}
+
+func TestCompileRejectsInvalidPatterns(t *testing.T) {
+	if _, err := Compile(pattern.Seq{}); err == nil {
+		t.Error("Compile(empty Seq) succeeded, want error")
+	}
+	if _, err := Compile(pattern.STrav{R: nil}); err == nil {
+		t.Error("Compile(nil region) succeeded, want error")
+	}
+	if _, err := CanonicalKey(pattern.Conc{}); err == nil {
+		t.Error("CanonicalKey(empty Conc) succeeded, want error")
+	}
+}
+
+func TestCanonicalKeyMatchesCompile(t *testing.T) {
+	u := region.New("U", 1000, 16)
+	p := pattern.Seq{pattern.STrav{R: u}, pattern.RAcc{R: u, Count: 10}}
+	key, err := CanonicalKey(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCompile(t, p).Canonical(); got != key {
+		t.Errorf("CanonicalKey = %q, Compile().Canonical() = %q", key, got)
+	}
+}
+
+// Canonicalization: ⊕ flattening, ⊙ sorting and bytes-used resolution
+// must map cost-equivalent spellings to one canonical form.
+func TestCanonicalEquivalences(t *testing.T) {
+	u := region.New("U", 1000, 16)
+	v := region.New("V", 2000, 8)
+	w := region.New("W", 500, 32)
+
+	cases := []struct {
+		name string
+		a, b pattern.Pattern
+	}{
+		{
+			"seq-flattening",
+			pattern.Seq{pattern.STrav{R: u}, pattern.Seq{pattern.STrav{R: v}, pattern.STrav{R: w}}},
+			pattern.Seq{pattern.Seq{pattern.STrav{R: u}, pattern.STrav{R: v}}, pattern.STrav{R: w}},
+		},
+		{
+			"conc-commutativity",
+			pattern.Conc{pattern.STrav{R: u}, pattern.RTrav{R: v}, pattern.STrav{R: w}},
+			pattern.Conc{pattern.STrav{R: w}, pattern.STrav{R: u}, pattern.RTrav{R: v}},
+		},
+		{
+			"bytes-used-resolution",
+			pattern.STrav{R: u},
+			pattern.STrav{R: u, U: u.W},
+		},
+		{
+			"nest-dont-care-fields",
+			pattern.Nest{R: u, M: 8, Inner: pattern.InnerRTrav, Order: pattern.OrderBi, NoSeq: true, Count: 0},
+			pattern.Nest{R: u, M: 8, Inner: pattern.InnerRTrav, Order: pattern.OrderRandom},
+		},
+	}
+	for _, tc := range cases {
+		ka, kb := mustCompile(t, tc.a).Canonical(), mustCompile(t, tc.b).Canonical()
+		if ka != kb {
+			t.Errorf("%s: canonical forms differ:\n  %q\n  %q", tc.name, ka, kb)
+		}
+	}
+}
+
+func TestCanonicalDistinguishes(t *testing.T) {
+	u := region.New("U", 1000, 16)
+	u2 := region.New("U", 1001, 16) // same name, different length
+	sub := u.Sub(0, 2)
+	flat := region.New(sub.Name, sub.N, sub.W) // same name+n+w, no parent
+
+	cases := []struct {
+		name string
+		a, b pattern.Pattern
+	}{
+		{"repeat-count", pattern.RSTrav{R: u, Repeats: 2, Dir: pattern.Uni}, pattern.RSTrav{R: u, Repeats: 3, Dir: pattern.Uni}},
+		{"direction", pattern.RSTrav{R: u, Repeats: 2, Dir: pattern.Uni}, pattern.RSTrav{R: u, Repeats: 2, Dir: pattern.Bi}},
+		{"noseq-variant", pattern.STrav{R: u}, pattern.STrav{R: u, NoSeq: true}},
+		{"region-length", pattern.STrav{R: u}, pattern.STrav{R: u2}},
+		{"parent-chain", pattern.STrav{R: sub}, pattern.STrav{R: flat}},
+		{"seq-vs-conc", pattern.Seq{pattern.STrav{R: u}, pattern.STrav{R: u2}}, pattern.Conc{pattern.STrav{R: u}, pattern.STrav{R: u2}}},
+	}
+	for _, tc := range cases {
+		ka, kb := mustCompile(t, tc.a).Canonical(), mustCompile(t, tc.b).Canonical()
+		if ka == kb {
+			t.Errorf("%s: canonical forms collide: %q", tc.name, ka)
+		}
+	}
+}
+
+// Region deduplication (the ⊕-folding regression): two structurally
+// identical regions allocated separately must fold into one dense
+// index, so a repeated scan benefits from the first scan's cache
+// leftovers exactly as if the caller had shared the pointer.
+func TestRegionDedupAcrossPointers(t *testing.T) {
+	h := hardware.Origin2000()
+	// 64 kB: fits L2 (4 MB), so a second sequential scan of the *same*
+	// region is (nearly) free at L2 once the first scan warmed it.
+	shared := region.New("U", 4096, 16)
+	r1 := region.New("U", 4096, 16)
+	r2 := region.New("U", 4096, 16)
+
+	sharedProg := mustCompile(t, pattern.Seq{pattern.STrav{R: shared}, pattern.STrav{R: shared}})
+	dupProg := mustCompile(t, pattern.Seq{pattern.STrav{R: r1}, pattern.STrav{R: r2}})
+
+	if sharedProg.Canonical() != dupProg.Canonical() {
+		t.Fatalf("canonical forms differ:\n  %q\n  %q", sharedProg.Canonical(), dupProg.Canonical())
+	}
+	if got := dupProg.NumRegions(); got != 1 {
+		t.Fatalf("NumRegions = %d, want 1 (deduplicated)", got)
+	}
+
+	sharedMisses := sharedProg.Evaluate(h, nil)
+	dupMisses := dupProg.Evaluate(h, nil)
+	for i := range sharedMisses {
+		if sharedMisses[i] != dupMisses[i] {
+			t.Errorf("level %d: shared-pointer misses %+v != duplicate-pointer misses %+v",
+				i, sharedMisses[i], dupMisses[i])
+		}
+	}
+
+	// And the fold is real: the second scan must be cheaper than the
+	// first (cold) one, i.e. total < 2x a single scan.
+	single := totalMisses(mustCompile(t, pattern.STrav{R: shared}).Evaluate(h, nil))
+	if tot := totalMisses(dupMisses); tot >= 2*single {
+		t.Errorf("duplicate-pointer ⊕ fold shows no cache reuse: total %.1f, single scan %.1f", tot, single)
+	}
+}
+
+func TestRegionDedupKeepsDistinctIdentities(t *testing.T) {
+	// Same name but different geometry, or different parent chains,
+	// must stay distinct regions.
+	u := region.New("U", 1000, 16)
+	u2 := region.New("U", 2000, 16)
+	sub := u.Sub(1, 4)
+	prog := mustCompile(t, pattern.Seq{
+		pattern.STrav{R: u}, pattern.STrav{R: u2}, pattern.STrav{R: sub},
+	})
+	// u, u2, sub, plus sub's parent chain entry (u, shared).
+	if got := prog.NumRegions(); got != 3 {
+		t.Errorf("NumRegions = %d, want 3", got)
+	}
+}
+
+func TestParentChainRegistered(t *testing.T) {
+	u := region.New("U", 1024, 16)
+	sub := u.Sub(0, 4)
+	// Only the sub-region is touched; its parent must still be in the
+	// region table (residency inheritance needs the chain).
+	prog := mustCompile(t, pattern.STrav{R: sub})
+	regs := prog.Regions()
+	if len(regs) != 2 {
+		t.Fatalf("NumRegions = %d, want 2 (sub + parent)", len(regs))
+	}
+	var subInfo *RegionInfo
+	for i := range regs {
+		if regs[i].Name == sub.Name {
+			subInfo = &regs[i]
+		}
+	}
+	if subInfo == nil {
+		t.Fatalf("sub-region %q not in table %+v", sub.Name, regs)
+	}
+	if subInfo.Parent < 0 || regs[subInfo.Parent].Name != "U" {
+		t.Errorf("sub-region parent link broken: %+v", regs)
+	}
+}
+
+func TestCanonicalQuotesRegionNames(t *testing.T) {
+	// Hostile region names must not be able to forge another region's
+	// canonical identity.
+	a := region.New(`U"!1!1`, 1, 1)
+	ka := mustCompile(t, pattern.STrav{R: a}).Canonical()
+	b := region.New("U", 1, 1)
+	kb := mustCompile(t, pattern.STrav{R: b}).Canonical()
+	if ka == kb {
+		t.Errorf("hostile name collides with honest name: %q", ka)
+	}
+	if !strings.Contains(ka, `\"`) {
+		t.Errorf("hostile name not escaped in canonical form %q", ka)
+	}
+}
+
+// The evaluator must be allocation-free once its pooled scratch has
+// warmed up — the acceptance criterion of the IR path.
+func TestEvaluateZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations and defeats sync.Pool reuse")
+	}
+	h := hardware.Origin2000()
+	u := region.New("U", 1<<20, 16)
+	v := region.New("V", 1<<20, 16)
+	w := region.New("W", 1<<20, 16)
+	hreg := region.New("H", 1<<21, 16)
+	p := pattern.Seq{
+		pattern.Conc{pattern.STrav{R: v}, pattern.RTrav{R: hreg}},
+		pattern.Conc{pattern.STrav{R: u}, pattern.RAcc{R: hreg, Count: u.N}, pattern.STrav{R: w}},
+	}
+	prog := mustCompile(t, p)
+	dst := make([]Misses, 0, len(h.Levels))
+	prog.Evaluate(h, dst) // warm the pool
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = prog.Evaluate(h, dst)
+	})
+	if allocs != 0 {
+		t.Errorf("Evaluate allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		prog.MemoryTimeNS(h)
+	})
+	if allocs != 0 {
+		t.Errorf("MemoryTimeNS allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// Concurrent evaluation of one shared Program must be race-free and
+// deterministic, including across hierarchies with different level
+// counts (the pooled scratch must not leak state between runs).
+func TestConcurrentEvaluate(t *testing.T) {
+	u := region.New("U", 1<<18, 16)
+	v := region.New("V", 1<<18, 16)
+	hreg := region.New("H", 1<<19, 16)
+	w := region.New("W", 1<<18, 16)
+	prog := mustCompile(t, pattern.Seq{
+		pattern.Conc{pattern.STrav{R: v}, pattern.RTrav{R: hreg}},
+		pattern.Conc{pattern.STrav{R: u}, pattern.RAcc{R: hreg, Count: u.N}, pattern.STrav{R: w}},
+	})
+	hiers := []*hardware.Hierarchy{hardware.Origin2000(), hardware.SmallTest(), hardware.ModernX86()}
+	want := make([][]Misses, len(hiers))
+	for i, h := range hiers {
+		want[i] = prog.Evaluate(h, nil)
+	}
+
+	const goroutines = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]Misses, 0, 8)
+			for i := 0; i < rounds; i++ {
+				hi := (g + i) % len(hiers)
+				dst = prog.Evaluate(hiers[hi], dst)
+				for li := range dst {
+					if dst[li] != want[hi][li] {
+						errc <- errMismatch(hi, li)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{ hier, level int }
+
+func errMismatch(h, l int) error { return mismatchError{h, l} }
+func (e mismatchError) Error() string {
+	return "concurrent Evaluate diverged from serial result"
+}
+
+func TestProgramStats(t *testing.T) {
+	u := region.New("U", 1000, 16)
+	v := region.New("V", 1000, 16)
+	prog := mustCompile(t, pattern.Seq{
+		pattern.Conc{pattern.STrav{R: u}, pattern.STrav{R: v}},
+		pattern.STrav{R: u},
+	})
+	if got := prog.NumBasics(); got != 3 {
+		t.Errorf("NumBasics = %d, want 3", got)
+	}
+	// 3 basics + opConc + opNext + opEnd
+	if got := prog.NumInstructions(); got != 6 {
+		t.Errorf("NumInstructions = %d, want 6", got)
+	}
+	if got := prog.NumRegions(); got != 2 {
+		t.Errorf("NumRegions = %d, want 2", got)
+	}
+}

@@ -1,0 +1,589 @@
+package costir
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/costmath"
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+)
+
+// This file is the zero-allocation evaluator of compiled programs. It
+// mirrors the semantics of the reference tree walker in
+// internal/cost/combine.go instruction by instruction:
+//
+//   - Eq. 5.1: basic instructions adjust their cold-cache count by the
+//     resident fraction of their region (inherited through the
+//     sub-region parent chain).
+//   - Eq. 5.2: ⊕ is implicit — cache state threads from one
+//     instruction to the next.
+//   - Eq. 5.3: opConc/opNext/opEnd divide the cache among ⊙ children
+//     in footprint proportion, evaluate every child from the same
+//     entry state, and max-merge the children's result states.
+//
+// The cache state of one level is a dense []float64 over the program's
+// deduplicated region table (rho per region; 0 = not resident), so the
+// pointer-keyed maps of the tree walker become flat rows. All cache
+// levels are computed in a single pass over the instruction stream,
+// and every scratch buffer lives in a pooled evaluator, so steady-state
+// evaluation performs no heap allocation.
+
+// Misses is the per-level pair (M^s, M^r) of expected sequential and
+// random misses, shared with internal/cost via internal/costmath.
+type Misses = costmath.Misses
+
+// maxStateEntries bounds the number of resident regions tracked per
+// level, mirroring the tree walker's bound (internal/cost/combine.go):
+// retention keeps the entries holding the most resident bytes — the
+// only ones that can change a later prediction.
+const maxStateEntries = 96
+
+// Evaluate computes the expected misses of the compiled pattern per
+// level of h, on cold caches, appending one Misses per hierarchy level
+// to dst[:0] and returning it. Passing a dst with capacity
+// len(h.Levels) makes the call allocation-free. Evaluate is safe for
+// concurrent use on the same Program.
+func (p *Program) Evaluate(h *hardware.Hierarchy, dst []Misses) []Misses {
+	nL := len(h.Levels)
+	ev := p.getEvaluator(nL)
+	ev.run(p, h.Levels)
+	dst = append(dst[:0], ev.miss[:nL]...)
+	p.pool.put(ev)
+	return dst
+}
+
+// MemoryTimeNS computes T_mem (Eq. 3.1) of the compiled pattern on h:
+// per-level misses scored with the level miss latencies. It performs
+// no heap allocation in steady state.
+func (p *Program) MemoryTimeNS(h *hardware.Hierarchy) float64 {
+	ev := p.getEvaluator(len(h.Levels))
+	ev.run(p, h.Levels)
+	var t float64
+	for i := range h.Levels {
+		t += ev.miss[i].Seq*h.Levels[i].SeqMissLatency + ev.miss[i].Rnd*h.Levels[i].RndMissLatency
+	}
+	p.pool.put(ev)
+	return t
+}
+
+// evalPool wraps sync.Pool so Program's zero value works.
+type evalPool struct{ p sync.Pool }
+
+func (ep *evalPool) get() *evaluator {
+	ev, _ := ep.p.Get().(*evaluator)
+	return ev
+}
+func (ep *evalPool) put(ev *evaluator) { ep.p.Put(ev) }
+
+// frame is the scratch state of one active ⊙ group.
+type frame struct {
+	snap   []float64        // entry state, all levels (children start equal)
+	merged []float64        // pointwise max of children's result states
+	saved  []costmath.Level // level params before cache division
+	slot0  int32
+	n      int32
+	child  int32
+}
+
+// evaluator holds every scratch buffer one evaluation needs. Buffer
+// sizes depend on the program (fixed) and the hierarchy's level count
+// (grow-only), so a pooled evaluator reaches a steady state with no
+// further allocation.
+type evaluator struct {
+	nL       int // level capacity buffers are sized for
+	state    []float64
+	miss     []Misses
+	lp       []costmath.Level
+	frames   []frame
+	footVals []float64
+	footStk  []float64
+	newList  []int32   // conc-merge: indices present in the merged state
+	bndIdx   []int32   // boundRow: candidate indices
+	key      []float64 // boundRow: resident bytes per region index
+	sorter   rowSorter
+}
+
+func (p *Program) getEvaluator(nL int) *evaluator {
+	ev := p.pool.get()
+	if ev == nil {
+		ev = &evaluator{}
+	}
+	ev.ensure(p, nL)
+	return ev
+}
+
+func (ev *evaluator) ensure(p *Program, nL int) {
+	if nL > ev.nL {
+		ev.nL = nL
+	}
+	nR := len(p.regions)
+	capL := ev.nL
+	if need := capL * nR; len(ev.state) < need {
+		ev.state = make([]float64, need)
+	}
+	if len(ev.miss) < capL {
+		ev.miss = make([]Misses, capL)
+	}
+	if len(ev.lp) < capL {
+		ev.lp = make([]costmath.Level, capL)
+	}
+	if need := p.nSlots * capL; len(ev.footVals) < need {
+		ev.footVals = make([]float64, need)
+	}
+	if len(ev.footStk) < p.footDepth {
+		ev.footStk = make([]float64, p.footDepth)
+	}
+	if cap(ev.newList) < nR {
+		ev.newList = make([]int32, 0, nR)
+	}
+	if cap(ev.bndIdx) < nR {
+		ev.bndIdx = make([]int32, 0, nR)
+	}
+	if len(ev.key) < nR {
+		ev.key = make([]float64, nR)
+	}
+	if len(ev.frames) < p.maxDepth {
+		ev.frames = append(ev.frames, make([]frame, p.maxDepth-len(ev.frames))...)
+	}
+	for i := range ev.frames {
+		f := &ev.frames[i]
+		if need := capL * nR; len(f.snap) < need {
+			f.snap = make([]float64, need)
+			f.merged = make([]float64, need)
+		}
+		if len(f.saved) < capL {
+			f.saved = make([]costmath.Level, capL)
+		}
+	}
+}
+
+// run executes the program for all levels in one pass.
+func (ev *evaluator) run(p *Program, levels []hardware.Level) {
+	nL, nR := len(levels), len(p.regions)
+	for i := 0; i < nL; i++ {
+		ev.lp[i] = costmath.Level{
+			C: float64(levels[i].Capacity),
+			B: float64(levels[i].LineSize),
+			L: float64(levels[i].Lines()),
+		}
+		ev.miss[i] = Misses{}
+	}
+	clear(ev.state[:nL*nR])
+
+	ev.footprints(p, nL)
+
+	depth := 0
+	for ii := range p.instrs {
+		in := &p.instrs[ii]
+		switch in.Op {
+		case opConc:
+			f := &ev.frames[depth]
+			depth++
+			f.slot0, f.n, f.child = in.Reg, in.N, 0
+			copy(f.snap[:nL*nR], ev.state[:nL*nR])
+			clear(f.merged[:nL*nR])
+			copy(f.saved[:nL], ev.lp[:nL])
+			ev.setChildLp(f, nL)
+		case opNext:
+			f := &ev.frames[depth-1]
+			ev.maxMerge(f, nL*nR)
+			copy(ev.state[:nL*nR], f.snap[:nL*nR])
+			f.child++
+			ev.setChildLp(f, nL)
+		case opEnd:
+			depth--
+			f := &ev.frames[depth]
+			ev.maxMerge(f, nL*nR)
+			for li := 0; li < nL; li++ {
+				ev.concMerge(p, f, li, nR)
+			}
+			copy(ev.lp[:nL], f.saved[:nL])
+		default:
+			for li := 0; li < nL; li++ {
+				ev.evalBasic(p, in, li, nR)
+			}
+		}
+	}
+}
+
+// footprints runs the footprint program once per level, filling one
+// slot per ⊙ child with F(P) (Section 5.2). Footprints depend only on
+// the level's line size, which cache division never changes, so they
+// can be computed up front.
+func (ev *evaluator) footprints(p *Program, nL int) {
+	for li := 0; li < nL; li++ {
+		b := ev.lp[li].B
+		sp := 0
+		stk := ev.footStk
+		for i := range p.foot {
+			fi := &p.foot[i]
+			switch fi.Op {
+			case fOne:
+				stk[sp] = 1
+				sp++
+			case fLines:
+				stk[sp] = costmath.LinesCovered(p.regions[fi.Reg].Size(), b)
+				sp++
+			case fRTrav:
+				r := &p.regions[fi.Reg]
+				if costmath.GapSmall(r.W, float64(fi.U), b) {
+					stk[sp] = costmath.LinesCovered(r.Size(), b)
+				} else {
+					// Each line serves exactly one access; nothing is
+					// revisited.
+					stk[sp] = 1
+				}
+				sp++
+			case fStore:
+				ev.footVals[int(fi.N)*nL+li] = stk[sp-1]
+			case fMax:
+				k := int(fi.N)
+				m := stk[sp-k]
+				for j := sp - k + 1; j < sp; j++ {
+					if stk[j] > m {
+						m = stk[j]
+					}
+				}
+				sp -= k - 1
+				stk[sp-1] = m
+			case fSum:
+				k := int(fi.N)
+				var s float64
+				for j := sp - k; j < sp; j++ {
+					s += stk[j]
+				}
+				sp -= k - 1
+				stk[sp-1] = s
+			}
+		}
+	}
+}
+
+// setChildLp applies Eq. 5.3's cache division for the frame's current
+// child: each level's effective capacity and line count are scaled by
+// the child's footprint share of the whole ⊙ group.
+func (ev *evaluator) setChildLp(f *frame, nL int) {
+	for li := 0; li < nL; li++ {
+		var total float64
+		for s := f.slot0; s < f.slot0+f.n; s++ {
+			total += ev.footVals[int(s)*nL+li]
+		}
+		nu := 1.0
+		if total > 0 {
+			nu = ev.footVals[int(f.slot0+f.child)*nL+li] / total
+		}
+		if nu <= 0 {
+			// Patterns with zero-share footprints (pure streams) still
+			// stream through at least a line's worth of cache.
+			nu = 1 / f.saved[li].L
+		}
+		ev.lp[li] = f.saved[li].Scaled(nu)
+	}
+}
+
+// maxMerge folds the current state (one finished ⊙ child) into the
+// frame's merged accumulator: after ⊙ the cache holds a fraction of
+// each region proportional to its pattern's share.
+func (ev *evaluator) maxMerge(f *frame, n int) {
+	st := ev.state[:n]
+	mrg := f.merged[:n]
+	for i, v := range st {
+		if v > mrg[i] {
+			mrg[i] = v
+		}
+	}
+}
+
+// evalBasic executes one basic-pattern instruction at one level:
+// Eq. 5.1 state adjustment around the Section-4 cold count, miss
+// accumulation, then the state merge.
+func (ev *evaluator) evalBasic(p *Program, in *instr, li, nR int) {
+	lv := ev.lp[li]
+	row := ev.state[li*nR : (li+1)*nR]
+	reg := &p.regions[in.Reg]
+	u := float64(in.U)
+
+	// Effective resident fraction: the region's own entry, or an
+	// ancestor's (a resident parent implies resident sub-regions).
+	rho := row[in.Reg]
+	for x := reg.Parent; x >= 0; x = p.regions[x].Parent {
+		if row[x] > rho {
+			rho = row[x]
+		}
+	}
+
+	var mi Misses
+	if rho < 1 {
+		mi = coldMisses(in, lv, reg, u)
+		if rho > 0 {
+			if in.Op == opRAcc {
+				if lines := costmath.RAccLines(lv, reg.N, reg.W, u, in.A); lines > lv.L {
+					// r_acc over an oversized hot set: prior residency
+					// only saves (part of) the compulsory first-touch
+					// misses of the ℓ distinct lines.
+					mi.Rnd -= rho * lines
+					if mi.Rnd < 0 {
+						mi.Rnd = 0
+					}
+				} else {
+					mi = mi.Scale(1 - rho)
+				}
+			} else if isRandomOp(in) {
+				// Eq. 5.1: each access finds its line resident with
+				// probability rho.
+				mi = mi.Scale(1 - rho)
+			}
+			// Sequential patterns get no benefit from an unknown
+			// resident fraction (it would help only as the region head).
+		}
+	}
+	ev.miss[li] = ev.miss[li].Add(mi)
+
+	// Result state: the fraction of the region that fits the
+	// (possibly scaled) cache, merged over what survives beside it.
+	if size := reg.Size(); size > 0 {
+		rhoNew := lv.C / float64(size)
+		if rhoNew > 1 {
+			rhoNew = 1
+		}
+		ev.mergeBasic(p, row, lv, in.Reg, rhoNew)
+	} else {
+		ev.mergeEmpty(p, row, lv)
+	}
+}
+
+// coldMisses dispatches a basic instruction to its Section-4 formula.
+func coldMisses(in *instr, lv costmath.Level, reg *RegionInfo, u float64) Misses {
+	switch in.Op {
+	case opSTrav:
+		return costmath.Classify(costmath.STravCount(lv, reg.N, reg.W, u), !in.NoSeq)
+	case opRSTrav:
+		m0 := costmath.STravCount(lv, reg.N, reg.W, u)
+		return costmath.Classify(costmath.RSTravCount(lv, m0, in.A, in.Dir), !in.NoSeq)
+	case opRTrav:
+		return Misses{Rnd: costmath.RTravCount(lv, reg.N, reg.W, u)}
+	case opRRTrav:
+		m0 := costmath.RTravCount(lv, reg.N, reg.W, u)
+		return Misses{Rnd: costmath.RRTravCount(lv, m0, in.A)}
+	case opRAcc:
+		return Misses{Rnd: costmath.RAccCount(lv, reg.N, reg.W, u, in.A)}
+	case opNest:
+		return costmath.NestCounts(lv, reg.N, reg.W, u, in.M, in.Inner, in.A, in.Order, in.NoSeq)
+	}
+	panic("costir: coldMisses on non-basic instruction")
+}
+
+// isRandomOp reports whether Eq. 5.1 grants the instruction partial
+// benefit from a partially resident region.
+func isRandomOp(in *instr) bool {
+	switch in.Op {
+	case opRTrav, opRRTrav, opRAcc:
+		return true
+	case opNest:
+		return in.Inner != pattern.InnerSTrav
+	}
+	return false
+}
+
+// related reports whether regions a and b overlap through the
+// sub-region parent chain (ancestor, descendant, or equal).
+func (p *Program) related(a, b int32) bool {
+	for x := a; x >= 0; x = p.regions[x].Parent {
+		if x == b {
+			return true
+		}
+	}
+	for x := b; x >= 0; x = p.regions[x].Parent {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeBasic merges the single-region state a basic pattern leaves
+// behind with the previous row contents, mirroring the tree walker's
+// mergeState: earlier regions survive as long as the new resident
+// bytes leave room, scaled down proportionally otherwise; entries
+// overlapping the new region (same identity or related through the
+// parent chain) are superseded.
+func (ev *evaluator) mergeBasic(p *Program, row []float64, lv costmath.Level, ri int32, rhoNew float64) {
+	newBytes := rhoNew * float64(p.regions[ri].Size())
+	avail := lv.C - newBytes
+	if avail <= 0 {
+		clear(row)
+		row[ri] = rhoNew
+		return
+	}
+	var oldBytes float64
+	for r, f := range row {
+		if f == 0 || int32(r) == ri || p.related(int32(r), ri) {
+			continue
+		}
+		oldBytes += f * float64(p.regions[r].Size())
+	}
+	if oldBytes <= 0 {
+		clear(row)
+		row[ri] = rhoNew
+		return
+	}
+	scale := 1.0
+	if oldBytes > avail {
+		scale = avail / oldBytes
+	}
+	for r, f := range row {
+		if f == 0 || int32(r) == ri {
+			continue
+		}
+		if p.related(int32(r), ri) {
+			row[r] = 0
+			continue
+		}
+		if g := f * scale; g > 1e-9 {
+			row[r] = g
+		} else {
+			row[r] = 0
+		}
+	}
+	row[ri] = rhoNew
+	ev.boundRow(p, row)
+}
+
+// mergeEmpty merges an empty result state (a zero-size region leaves
+// nothing behind): previous contents are rescaled to the capacity.
+func (ev *evaluator) mergeEmpty(p *Program, row []float64, lv costmath.Level) {
+	var oldBytes float64
+	for r, f := range row {
+		if f != 0 {
+			oldBytes += f * float64(p.regions[r].Size())
+		}
+	}
+	if oldBytes <= 0 {
+		clear(row)
+		return
+	}
+	scale := 1.0
+	if oldBytes > lv.C {
+		scale = lv.C / oldBytes
+	}
+	for r, f := range row {
+		if f == 0 {
+			continue
+		}
+		if g := f * scale; g > 1e-9 {
+			row[r] = g
+		} else {
+			row[r] = 0
+		}
+	}
+	ev.boundRow(p, row)
+}
+
+// concMerge finishes one level of a ⊙ group: the max-merged child
+// states supersede the entry state, and entry-state entries unrelated
+// to any merged region survive in the room the merged bytes leave.
+func (ev *evaluator) concMerge(p *Program, f *frame, li, nR int) {
+	lv := f.saved[li]
+	old := f.snap[li*nR : (li+1)*nR]
+	mrg := f.merged[li*nR : (li+1)*nR]
+	row := ev.state[li*nR : (li+1)*nR]
+	copy(row, mrg)
+
+	newList := ev.newList[:0]
+	var newBytes float64
+	for r, fv := range mrg {
+		if fv != 0 {
+			newList = append(newList, int32(r))
+			newBytes += fv * float64(p.regions[r].Size())
+		}
+	}
+	avail := lv.C - newBytes
+	if avail <= 0 {
+		return
+	}
+	keep := func(r int32) bool {
+		if mrg[r] != 0 {
+			return false
+		}
+		for _, n := range newList {
+			if p.related(r, n) {
+				return false
+			}
+		}
+		return true
+	}
+	var oldBytes float64
+	for r, fv := range old {
+		if fv != 0 && keep(int32(r)) {
+			oldBytes += fv * float64(p.regions[r].Size())
+		}
+	}
+	if oldBytes <= 0 {
+		return
+	}
+	scale := 1.0
+	if oldBytes > avail {
+		scale = avail / oldBytes
+	}
+	for r, fv := range old {
+		if fv == 0 || !keep(int32(r)) {
+			continue
+		}
+		if g := fv * scale; g > 1e-9 {
+			row[r] = g
+		}
+	}
+	ev.boundRow(p, row)
+}
+
+// boundRow enforces maxStateEntries, keeping the entries with the most
+// resident bytes (ties: region name, then index), exactly like the
+// tree walker's boundState.
+func (ev *evaluator) boundRow(p *Program, row []float64) {
+	n := 0
+	for _, f := range row {
+		if f != 0 {
+			n++
+		}
+	}
+	if n <= maxStateEntries {
+		return
+	}
+	idx := ev.bndIdx[:0]
+	for r, f := range row {
+		if f != 0 {
+			idx = append(idx, int32(r))
+			ev.key[r] = f * float64(p.regions[r].Size())
+		}
+	}
+	ev.sorter.idx = idx
+	ev.sorter.key = ev.key
+	ev.sorter.regs = p.regions
+	sort.Sort(&ev.sorter)
+	for _, r := range idx[maxStateEntries:] {
+		row[r] = 0
+	}
+}
+
+// rowSorter orders region indices by resident bytes descending, then
+// name ascending, then index — a deterministic refinement of the tree
+// walker's ordering.
+type rowSorter struct {
+	idx  []int32
+	key  []float64
+	regs []RegionInfo
+}
+
+func (s *rowSorter) Len() int      { return len(s.idx) }
+func (s *rowSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *rowSorter) Less(i, j int) bool {
+	a, b := s.idx[i], s.idx[j]
+	if s.key[a] != s.key[b] {
+		return s.key[a] > s.key[b]
+	}
+	if s.regs[a].Name != s.regs[b].Name {
+		return s.regs[a].Name < s.regs[b].Name
+	}
+	return a < b
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/cost"
+	"repro/internal/costir"
 	"repro/internal/engine"
 	"repro/internal/hardware"
 	"repro/internal/pattern"
@@ -53,10 +54,56 @@ const (
 	SortDistinct        Algorithm = "sort-distinct"
 )
 
+// Candidate is one enumerated physical alternative before costing: the
+// algorithm, its access pattern compiled once into the flat cost IR,
+// and the hardware-independent CPU estimate. A candidate can be scored
+// on any number of hardware profiles (ScoreOn) without re-compiling —
+// the cross-profile what-if loop an optimizer or a fleet-placement
+// service runs per plan.
+type Candidate struct {
+	Algorithm Algorithm
+	Pattern   pattern.Pattern
+	// Compiled is the pattern's flat-IR program, shared by every
+	// scoring pass.
+	Compiled *costir.Program
+	// Fanout is the partition count for partitioned algorithms.
+	Fanout int64
+	// CPUNS is the estimated pure CPU time (Eq. 6.1's T_cpu),
+	// hardware-profile-independent by the paper's calibration model.
+	CPUNS float64
+}
+
+// PlanOn scores the candidate on one hierarchy.
+func (c Candidate) PlanOn(h *hardware.Hierarchy) Plan {
+	return Plan{
+		Algorithm: c.Algorithm,
+		Pattern:   c.Pattern,
+		Compiled:  c.Compiled,
+		Fanout:    c.Fanout,
+		MemNS:     c.Compiled.MemoryTimeNS(h),
+		CPUNS:     c.CPUNS,
+	}
+}
+
+// ScoreOn costs every candidate on the hierarchy and returns the plans
+// sorted cheapest first. Candidates are evaluated from their compiled
+// programs; no pattern is re-compiled.
+func ScoreOn(h *hardware.Hierarchy, cands []Candidate) []Plan {
+	plans := make([]Plan, len(cands))
+	for i, c := range cands {
+		plans[i] = c.PlanOn(h)
+	}
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].TotalNS() < plans[j].TotalNS() })
+	return plans
+}
+
 // Plan is one costed physical alternative.
 type Plan struct {
 	Algorithm Algorithm
 	Pattern   pattern.Pattern
+	// Compiled is the pattern's flat-IR program (shared with the
+	// Candidate the plan was scored from).
+	Compiled *costir.Program
 	// Fanout is the partition count for partitioned algorithms.
 	Fanout int64
 	// MemNS is the predicted memory access time (Eq. 3.1).
@@ -74,10 +121,11 @@ func (p Plan) String() string {
 		p.Algorithm, p.TotalNS()/1e6, p.MemNS/1e6, p.CPUNS/1e6)
 }
 
-// Planner costs candidate plans on one hardware profile.
+// Planner enumerates candidate plans (compiled once into the cost IR)
+// and costs them, by default on its own hardware profile; ScoreOn
+// re-scores the same candidates on any other profile.
 type Planner struct {
-	model *cost.Model
-	hier  *hardware.Hierarchy
+	hier *hardware.Hierarchy
 	// cpu holds per-tuple CPU cost constants (ns); see DefaultCPU.
 	cpu CPUCosts
 }
@@ -95,13 +143,13 @@ func DefaultCPU() CPUCosts {
 	return CPUCosts{Compare: 20, Hash: 100, Move: 20, Partition: 50}
 }
 
-// New creates a planner for the hierarchy.
+// New creates a planner for the hierarchy; the hierarchy must
+// validate (the same requirement cost.New enforces).
 func New(h *hardware.Hierarchy) (*Planner, error) {
-	m, err := cost.New(h)
-	if err != nil {
+	if _, err := cost.New(h); err != nil {
 		return nil, err
 	}
-	return &Planner{model: m, hier: h, cpu: DefaultCPU()}, nil
+	return &Planner{hier: h, cpu: DefaultCPU()}, nil
 }
 
 // SetCPUCosts overrides the CPU constants.
@@ -124,30 +172,32 @@ func (pl *Planner) candidateFanouts() []int64 {
 	return []int64{16, 64, 256}
 }
 
-// cost evaluates a pattern, panicking only on programming errors.
-func (pl *Planner) costOf(p pattern.Pattern) (float64, error) {
-	res, err := pl.model.Evaluate(p)
+// newCandidate compiles a pattern once and wraps it as a Candidate —
+// the single construction path every enumerator below goes through.
+func newCandidate(alg Algorithm, p pattern.Pattern, fanout int64, cpu float64) (Candidate, error) {
+	prog, err := costir.Compile(p)
 	if err != nil {
-		return 0, err
+		return Candidate{}, fmt.Errorf("planner: compiling %s candidate: %w", alg, err)
 	}
-	return res.MemoryTimeNS(), nil
+	return Candidate{Algorithm: alg, Pattern: p, Compiled: prog, Fanout: fanout, CPUNS: cpu}, nil
 }
 
-// JoinPlans enumerates and costs the physical alternatives of an
-// equi-join U ⋈ V with the given estimated output cardinality, sorted
-// cheapest first.
-func (pl *Planner) JoinPlans(u, v Relation, outTuples int64) ([]Plan, error) {
+// JoinCandidates enumerates the physical alternatives of an equi-join
+// U ⋈ V with the given estimated output cardinality, compiling each
+// candidate's access pattern exactly once. Cost nothing yet: pass the
+// result to ScoreOn for each hardware profile of interest.
+func (pl *Planner) JoinCandidates(u, v Relation, outTuples int64) ([]Candidate, error) {
 	ur, vr := u.Region(), v.Region()
 	out := region.New("W", outTuples, u.Width)
 	nU, nV := float64(u.Tuples), float64(v.Tuples)
-	var plans []Plan
+	var cands []Candidate
 
 	add := func(alg Algorithm, p pattern.Pattern, fanout int64, cpu float64) error {
-		mem, err := pl.costOf(p)
+		c, err := newCandidate(alg, p, fanout, cpu)
 		if err != nil {
 			return err
 		}
-		plans = append(plans, Plan{Algorithm: alg, Pattern: p, Fanout: fanout, MemNS: mem, CPUNS: cpu})
+		cands = append(cands, c)
 		return nil
 	}
 
@@ -212,9 +262,18 @@ func (pl *Planner) JoinPlans(u, v Relation, outTuples int64) ([]Plan, error) {
 			return nil, err
 		}
 	}
+	return cands, nil
+}
 
-	sort.SliceStable(plans, func(i, j int) bool { return plans[i].TotalNS() < plans[j].TotalNS() })
-	return plans, nil
+// JoinPlans enumerates and costs the physical alternatives of an
+// equi-join U ⋈ V on the planner's own hierarchy, sorted cheapest
+// first.
+func (pl *Planner) JoinPlans(u, v Relation, outTuples int64) ([]Plan, error) {
+	cands, err := pl.JoinCandidates(u, v, outTuples)
+	if err != nil {
+		return nil, err
+	}
+	return ScoreOn(pl.hier, cands), nil
 }
 
 // BestJoin returns the cheapest join plan.
@@ -226,76 +285,90 @@ func (pl *Planner) BestJoin(u, v Relation, outTuples int64) (Plan, error) {
 	return plans[0], nil
 }
 
-// AggregatePlans costs hash- vs sort-based grouping of u into `groups`
-// result groups, sorted cheapest first.
-func (pl *Planner) AggregatePlans(u Relation, groups int64) ([]Plan, error) {
+// AggregateCandidates enumerates hash- vs sort-based grouping of u
+// into `groups` result groups, compiling each pattern once.
+func (pl *Planner) AggregateCandidates(u Relation, groups int64) ([]Candidate, error) {
 	ur := u.Region()
 	n := float64(u.Tuples)
 	agg := engine.AggRegionFor("A", groups)
-	var plans []Plan
+	var cands []Candidate
 
-	mem, err := pl.costOf(engine.HashAggregatePattern(ur, agg))
-	if err != nil {
+	add := func(alg Algorithm, p pattern.Pattern, cpu float64) error {
+		c, err := newCandidate(alg, p, 0, cpu)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, c)
+		return nil
+	}
+
+	if err := add(HashAggregate, engine.HashAggregatePattern(ur, agg), pl.cpu.Hash*n); err != nil {
 		return nil, err
 	}
-	plans = append(plans, Plan{
-		Algorithm: HashAggregate,
-		Pattern:   engine.HashAggregatePattern(ur, agg),
-		MemNS:     mem,
-		CPUNS:     pl.cpu.Hash * n,
-	})
 
 	out := region.New("G", groups, u.Width)
 	sortPat := pattern.Seq{
 		engine.QuickSortPattern(ur, pl.minCapacity()),
 		pattern.Conc{pattern.STrav{R: ur}, pattern.STrav{R: out}},
 	}
-	mem, err = pl.costOf(sortPat)
-	if err != nil {
-		return nil, err
-	}
 	sortCPU := 0.0
 	if n >= 2 {
 		sortCPU = pl.cpu.Compare * 2 * n * math.Ceil(math.Log2(n))
 	}
-	plans = append(plans, Plan{
-		Algorithm: SortAggregate,
-		Pattern:   sortPat,
-		MemNS:     mem,
-		CPUNS:     sortCPU + pl.cpu.Compare*n,
-	})
-
-	sort.SliceStable(plans, func(i, j int) bool { return plans[i].TotalNS() < plans[j].TotalNS() })
-	return plans, nil
+	if err := add(SortAggregate, sortPat, sortCPU+pl.cpu.Compare*n); err != nil {
+		return nil, err
+	}
+	return cands, nil
 }
 
-// DistinctPlans costs hash- vs sort-based duplicate elimination with the
-// given estimated distinct count, sorted cheapest first.
-func (pl *Planner) DistinctPlans(u Relation, distinct int64) ([]Plan, error) {
+// AggregatePlans costs hash- vs sort-based grouping of u into `groups`
+// result groups on the planner's hierarchy, sorted cheapest first.
+func (pl *Planner) AggregatePlans(u Relation, groups int64) ([]Plan, error) {
+	cands, err := pl.AggregateCandidates(u, groups)
+	if err != nil {
+		return nil, err
+	}
+	return ScoreOn(pl.hier, cands), nil
+}
+
+// DistinctCandidates enumerates hash- vs sort-based duplicate
+// elimination with the given estimated distinct count, compiling each
+// pattern once.
+func (pl *Planner) DistinctCandidates(u Relation, distinct int64) ([]Candidate, error) {
 	ur := u.Region()
 	n := float64(u.Tuples)
 	h := engine.HashRegionFor("H", u.Tuples)
 	out := region.New("D", distinct, u.Width)
-	var plans []Plan
+	var cands []Candidate
 
-	hp := engine.HashDedupPattern(ur, h, out)
-	mem, err := pl.costOf(hp)
-	if err != nil {
-		return nil, err
+	add := func(alg Algorithm, p pattern.Pattern, cpu float64) error {
+		c, err := newCandidate(alg, p, 0, cpu)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, c)
+		return nil
 	}
-	plans = append(plans, Plan{Algorithm: HashDistinct, Pattern: hp, MemNS: mem, CPUNS: pl.cpu.Hash * n})
 
-	sp := engine.SortDedupPattern(ur, out, pl.minCapacity())
-	mem, err = pl.costOf(sp)
-	if err != nil {
+	if err := add(HashDistinct, engine.HashDedupPattern(ur, h, out), pl.cpu.Hash*n); err != nil {
 		return nil, err
 	}
 	sortCPU := 0.0
 	if n >= 2 {
 		sortCPU = pl.cpu.Compare * 2 * n * math.Ceil(math.Log2(n))
 	}
-	plans = append(plans, Plan{Algorithm: SortDistinct, Pattern: sp, MemNS: mem, CPUNS: sortCPU + pl.cpu.Compare*n})
+	if err := add(SortDistinct, engine.SortDedupPattern(ur, out, pl.minCapacity()), sortCPU+pl.cpu.Compare*n); err != nil {
+		return nil, err
+	}
+	return cands, nil
+}
 
-	sort.SliceStable(plans, func(i, j int) bool { return plans[i].TotalNS() < plans[j].TotalNS() })
-	return plans, nil
+// DistinctPlans costs hash- vs sort-based duplicate elimination on the
+// planner's hierarchy, sorted cheapest first.
+func (pl *Planner) DistinctPlans(u Relation, distinct int64) ([]Plan, error) {
+	cands, err := pl.DistinctCandidates(u, distinct)
+	if err != nil {
+		return nil, err
+	}
+	return ScoreOn(pl.hier, cands), nil
 }

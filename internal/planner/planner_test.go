@@ -211,3 +211,93 @@ func TestPlannerRankingMatchesSimulation(t *testing.T) {
 		t.Logf("%-22s pred %8.1fms meas %8.1fms", o.alg, o.predNS/1e6, o.measNS/1e6)
 	}
 }
+
+// TestCandidatesCompiledOnce certifies the compile-once contract: the
+// same candidate set re-scored across hardware profiles reuses the
+// compiled programs by identity, and scoring on the planner's own
+// profile reproduces JoinPlans exactly.
+func TestCandidatesCompiledOnce(t *testing.T) {
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 200000, Width: 16}
+	v := Relation{Name: "V", Tuples: 100000, Width: 16}
+	cands, err := pl.JoinCandidates(u, v, u.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 3 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	for _, c := range cands {
+		if c.Compiled == nil {
+			t.Fatalf("%s: nil compiled program", c.Algorithm)
+		}
+	}
+
+	onOrigin := ScoreOn(hardware.Origin2000(), cands)
+	onX86 := ScoreOn(hardware.ModernX86(), cands)
+	for _, plans := range [][]Plan{onOrigin, onX86} {
+		for _, p := range plans {
+			// Programs are shared by pointer with the candidates: no
+			// re-compilation happened.
+			found := false
+			for _, c := range cands {
+				if c.Compiled == p.Compiled {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: plan's program not shared with its candidate", p.Algorithm)
+			}
+		}
+	}
+
+	direct, err := pl.JoinPlans(u, v, u.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(onOrigin) {
+		t.Fatalf("JoinPlans %d plans, ScoreOn %d", len(direct), len(onOrigin))
+	}
+	for i := range direct {
+		if direct[i].Algorithm != onOrigin[i].Algorithm || direct[i].MemNS != onOrigin[i].MemNS {
+			t.Errorf("plan %d: JoinPlans %v/%g != ScoreOn %v/%g",
+				i, direct[i].Algorithm, direct[i].MemNS, onOrigin[i].Algorithm, onOrigin[i].MemNS)
+		}
+	}
+
+	// Different hardware may rank differently, but each plan's memory
+	// time must be profile-specific (not stale from the first scoring).
+	same := true
+	for i := range onOrigin {
+		if onOrigin[i].MemNS != onX86[i].MemNS {
+			same = false
+		}
+	}
+	if same {
+		t.Error("scores identical across Origin2000 and ModernX86 — rescoring looks stale")
+	}
+}
+
+// TestAggregateAndDistinctCandidates covers the other two enumerators'
+// candidate paths.
+func TestAggregateAndDistinctCandidates(t *testing.T) {
+	pl := newPlanner(t)
+	u := Relation{Name: "U", Tuples: 100000, Width: 16}
+	ac, err := pl.AggregateCandidates(u, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := pl.DistinctCandidates(u, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cands := range [][]Candidate{ac, dc} {
+		if len(cands) != 2 {
+			t.Fatalf("got %d candidates, want 2", len(cands))
+		}
+		plans := ScoreOn(hardware.SmallTest(), cands)
+		if len(plans) != 2 || plans[0].TotalNS() > plans[1].TotalNS() {
+			t.Errorf("ScoreOn did not sort cheapest first: %v", plans)
+		}
+	}
+}

@@ -38,6 +38,7 @@ package costmodel
 
 import (
 	"repro/internal/cost"
+	"repro/internal/costir"
 	"repro/internal/hardware"
 	"repro/internal/pattern"
 	"repro/internal/region"
@@ -149,3 +150,31 @@ func NewModel(h *Hierarchy) (*Model, error) { return cost.New(h) }
 
 // MustNewModel is NewModel, panicking on error (for tests and examples).
 func MustNewModel(h *Hierarchy) *Model { return cost.MustNew(h) }
+
+// CompiledPattern is a pattern compiled into the flat cost IR: an
+// immutable program over a dense table of deduplicated regions, with an
+// allocation-free evaluator safe for concurrent use. Compile once,
+// evaluate many times — across hardware profiles, goroutines and
+// requests:
+//
+//	prog, err := costmodel.Compile(p)
+//	...
+//	misses := prog.Evaluate(hier, nil)       // per-level (M^s, M^r)
+//	tmem := prog.MemoryTimeNS(hier)          // T_mem, Eq. 3.1
+//
+// Model.Evaluate compiles internally per call; hot paths (optimizers
+// scoring plan candidates, batch services) should hold a
+// CompiledPattern instead. CompiledPattern.Canonical returns the
+// pattern's canonical form — a deterministic string under which
+// cost-equivalent patterns (⊕ associativity, ⊙ commutativity, resolved
+// parameters, region identity by name/geometry/parent chain) coincide,
+// suitable as a cache key.
+type CompiledPattern = costir.Program
+
+// Compile canonicalizes and compiles a pattern into the flat cost IR.
+// The pattern must validate (see ValidatePattern).
+func Compile(p Pattern) (*CompiledPattern, error) { return costir.Compile(p) }
+
+// CanonicalPattern returns the canonical form of p without compiling
+// the full program — the key Compile-result caches should intern on.
+func CanonicalPattern(p Pattern) (string, error) { return costir.CanonicalKey(p) }

@@ -211,3 +211,93 @@ func sorted(s []string) bool {
 	}
 	return true
 }
+
+// TestCompiledPatternMatchesModel: the public Compile path must agree
+// with Model.Evaluate (which compiles internally) and be reusable
+// across hierarchies.
+func TestCompiledPatternMatchesModel(t *testing.T) {
+	u := costmodel.NewRegion("U", 1<<18, 16)
+	h := costmodel.HashRegionFor("H", u.N)
+	p := costmodel.Conc{
+		costmodel.STrav{R: u},
+		costmodel.RAcc{R: h, Count: u.N},
+	}
+	prog, err := costmodel.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() *costmodel.Hierarchy{costmodel.Origin2000, costmodel.ModernX86} {
+		hier := mk()
+		model := costmodel.MustNewModel(hier)
+		want, err := model.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		misses := prog.Evaluate(hier, nil)
+		if len(misses) != len(want.PerLevel) {
+			t.Fatalf("%s: %d levels, want %d", hier.Name, len(misses), len(want.PerLevel))
+		}
+		for i := range misses {
+			if misses[i] != want.PerLevel[i].Misses {
+				t.Errorf("%s level %d: compiled %+v != model %+v",
+					hier.Name, i, misses[i], want.PerLevel[i].Misses)
+			}
+		}
+		if got, want := prog.MemoryTimeNS(hier), want.MemoryTimeNS(); got != want {
+			t.Errorf("%s: MemoryTimeNS compiled %g != model %g", hier.Name, got, want)
+		}
+	}
+}
+
+// TestCanonicalPattern: the canonical form is stable across
+// cost-equivalent spellings and available without full compilation.
+func TestCanonicalPattern(t *testing.T) {
+	u := costmodel.NewRegion("U", 1000, 16)
+	v := costmodel.NewRegion("V", 500, 8)
+	a := costmodel.Conc{costmodel.STrav{R: u}, costmodel.RTrav{R: v}}
+	b := costmodel.Conc{costmodel.RTrav{R: v}, costmodel.STrav{R: u}}
+	ka, err := costmodel.CanonicalPattern(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := costmodel.CanonicalPattern(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Errorf("canonical forms differ:\n  %q\n  %q", ka, kb)
+	}
+	prog, err := costmodel.Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Canonical() != ka {
+		t.Errorf("Compile().Canonical() = %q, CanonicalPattern = %q", prog.Canonical(), ka)
+	}
+}
+
+// TestScorePlansAcrossProfiles: candidates enumerate+compile once and
+// re-score on any registered profile.
+func TestScorePlansAcrossProfiles(t *testing.T) {
+	pl, err := costmodel.NewPlanner(costmodel.Origin2000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := costmodel.Relation{Name: "U", Tuples: 200000, Width: 16}
+	v := costmodel.Relation{Name: "V", Tuples: 100000, Width: 16}
+	cands, err := pl.JoinCandidates(u, v, u.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hier := range []*costmodel.Hierarchy{costmodel.Origin2000(), costmodel.SmallTest()} {
+		plans := costmodel.ScorePlans(hier, cands)
+		if len(plans) != len(cands) {
+			t.Fatalf("%s: %d plans from %d candidates", hier.Name, len(plans), len(cands))
+		}
+		for i := 1; i < len(plans); i++ {
+			if plans[i-1].TotalNS() > plans[i].TotalNS() {
+				t.Errorf("%s: plans not sorted cheapest first", hier.Name)
+			}
+		}
+	}
+}

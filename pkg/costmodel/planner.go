@@ -14,11 +14,22 @@ type (
 	Relation = planner.Relation
 	// Plan is one costed physical alternative.
 	Plan = planner.Plan
+	// Candidate is one enumerated physical alternative with its access
+	// pattern compiled once into the cost IR; re-score it on any
+	// profile with ScorePlans without re-compiling.
+	Candidate = planner.Candidate
 	// Algorithm identifies a physical operator implementation.
 	Algorithm = planner.Algorithm
 	// CPUCosts are the per-tuple T_cpu constants per algorithm step.
 	CPUCosts = planner.CPUCosts
 )
+
+// ScorePlans costs every candidate on the hierarchy from its compiled
+// program (no re-compilation) and returns the plans sorted cheapest
+// first. Use Planner.JoinCandidates / AggregateCandidates /
+// DistinctCandidates to enumerate, then score the same candidates
+// across as many profiles as needed.
+func ScorePlans(h *Hierarchy, cands []Candidate) []Plan { return planner.ScoreOn(h, cands) }
 
 // The planner's physical algorithm inventory, re-exported.
 const (

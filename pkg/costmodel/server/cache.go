@@ -5,10 +5,12 @@ import (
 	"sync"
 )
 
-// lruCache is a fixed-capacity least-recently-used result cache — the
-// classic map + doubly-linked-list construction (the standard library
-// has no LRU and the repo takes no dependencies). Stored results are
-// treated as immutable; Evaluate copies before mutating.
+// lruCache is a fixed-capacity least-recently-used cache — the classic
+// map + doubly-linked-list construction (the standard library has no
+// LRU and the repo takes no dependencies). The server keeps two: one
+// for evaluation results and one for compiled patterns. Stored values
+// are treated as immutable; callers copy before mutating (results) or
+// share freely (compiled programs are immutable by construction).
 type lruCache struct {
 	cap int
 
@@ -19,7 +21,7 @@ type lruCache struct {
 
 type entry struct {
 	key string
-	res *EvalResult
+	val any
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -30,7 +32,7 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-func (c *lruCache) get(key string) (*EvalResult, bool) {
+func (c *lruCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -38,18 +40,18 @@ func (c *lruCache) get(key string) (*EvalResult, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*entry).res, true
+	return el.Value.(*entry).val, true
 }
 
-func (c *lruCache) put(key string, res *EvalResult) {
+func (c *lruCache) put(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).res = res
+		el.Value.(*entry).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&entry{key: key, res: res})
+	c.items[key] = c.order.PushFront(&entry{key: key, val: val})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

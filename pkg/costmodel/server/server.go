@@ -25,9 +25,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
-	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/pkg/costmodel"
 )
@@ -43,18 +42,35 @@ type Config struct {
 	// CacheSize is the maximum number of memoized results; 0 means
 	// DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// CompileCacheSize is the maximum number of interned compiled
+	// patterns; 0 means DefaultCompileCacheSize, negative disables the
+	// compile cache (every evaluation re-compiles).
+	CompileCacheSize int
 }
 
 // DefaultCacheSize is the result-cache capacity used when
 // Config.CacheSize is 0.
 const DefaultCacheSize = 4096
 
+// DefaultCompileCacheSize is the compile-cache capacity used when
+// Config.CompileCacheSize is 0. Compiled patterns are keyed by
+// canonical form only — no profile, no Explain flag — so one entry
+// serves every hardware profile a pattern is evaluated on.
+const DefaultCompileCacheSize = 1024
+
 // Server evaluates cost-model requests over HTTP.
 type Server struct {
 	reg   *costmodel.Registry
 	sem   chan struct{}
 	cache *lruCache
-	calib *calibJobs
+	// compileCache interns compiled patterns by canonical form, so
+	// batch requests and repeated evaluations across different
+	// profiles share compilation work (the result cache above only
+	// hits on exact pattern+profile pairs).
+	compileCache  *lruCache
+	compileHits   atomic.Uint64
+	compileMisses atomic.Uint64
+	calib         *calibJobs
 	// validating single-flights GET /v1/validate: one sweep already
 	// saturates its own worker pool, so concurrent sweeps would only
 	// multiply simulator memory and defeat the Workers bound.
@@ -84,13 +100,22 @@ func New(cfg Config) *Server {
 	if size > 0 {
 		cache = newLRUCache(size)
 	}
+	csize := cfg.CompileCacheSize
+	if csize == 0 {
+		csize = DefaultCompileCacheSize
+	}
+	var ccache *lruCache
+	if csize > 0 {
+		ccache = newLRUCache(csize)
+	}
 	return &Server{
-		reg:         reg,
-		sem:         make(chan struct{}, workers),
-		cache:       cache,
-		calib:       newCalibJobs(),
-		validating:  make(chan struct{}, 1),
-		calibrating: make(chan struct{}, 1),
+		reg:          reg,
+		sem:          make(chan struct{}, workers),
+		cache:        cache,
+		compileCache: ccache,
+		calib:        newCalibJobs(),
+		validating:   make(chan struct{}, 1),
+		calibrating:  make(chan struct{}, 1),
 	}
 }
 
@@ -261,21 +286,41 @@ func (s *Server) Evaluate(req EvalRequest) *EvalResult {
 	if err != nil {
 		return &EvalResult{Profile: req.Profile, Error: err.Error()}
 	}
+	canon, err := costmodel.CanonicalPattern(p)
+	if err != nil {
+		return &EvalResult{Profile: req.Profile, Pattern: p.String(), Error: err.Error()}
+	}
 
-	// The key excludes CPUNS: T_cpu is pure addition on top of the
-	// memory-side result (Eq. 6.1), so re-costing one pattern under
-	// varying CPU estimates — the optimizer's common case — stays a
-	// cache hit. CPUNS is applied below, after the cache.
-	key := s.cacheKey(req, regions, p)
+	// The result-cache key is the pattern's *canonical* form — region
+	// geometries embedded, ⊕ flattened, ⊙ operands sorted — so any two
+	// spellings of the same access behaviour share an entry. Two
+	// exclusions keep the entry request-agnostic: CPUNS, because T_cpu
+	// is pure addition on top of the memory-side result (Eq. 6.1), so
+	// re-costing one pattern under varying CPU estimates — the
+	// optimizer's common case — stays a cache hit (it is applied below,
+	// after the cache); and the pattern echo, which is rewritten to
+	// *this* request's spelling on every hit. Explained results are the
+	// exception: the per-node breakdown follows the spelling's tree
+	// shape, so the key also carries the parsed rendering. The registry
+	// version invalidates entries when a profile name is re-registered.
+	key := fmt.Sprintf("v%d|%q|%s|%t", s.reg.Version(), req.Profile, canon, req.Explain)
+	if req.Explain {
+		key += "|" + p.String()
+	}
 	res, cached := (*EvalResult)(nil), false
 	if s.cache != nil {
 		if hit, ok := s.cache.get(key); ok {
-			res, cached = hit.clone(), true
+			res, cached = hit.(*EvalResult).clone(), true
+			res.Pattern = p.String()
 		}
 	}
 	if res == nil {
+		prog, err := s.compile(canon, p)
+		if err != nil {
+			return &EvalResult{Profile: req.Profile, Pattern: p.String(), Error: err.Error()}
+		}
 		s.sem <- struct{}{}
-		res = s.evaluate(req, p)
+		res = s.evaluate(req, p, prog)
 		<-s.sem
 		if s.cache != nil && res.Error == "" {
 			// The cache keeps its own copy: callers own the returned
@@ -288,6 +333,26 @@ func (s *Server) Evaluate(req EvalRequest) *EvalResult {
 	return res
 }
 
+// compile interns compiled patterns by canonical form. Hits share one
+// immutable program across requests, batches and profiles.
+func (s *Server) compile(canon string, p costmodel.Pattern) (*costmodel.CompiledPattern, error) {
+	if s.compileCache != nil {
+		if hit, ok := s.compileCache.get(canon); ok {
+			s.compileHits.Add(1)
+			return hit.(*costmodel.CompiledPattern), nil
+		}
+	}
+	s.compileMisses.Add(1)
+	prog, err := costmodel.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	if s.compileCache != nil {
+		s.compileCache.put(canon, prog)
+	}
+	return prog, nil
+}
+
 // clone returns a copy sharing no mutable state with r.
 func (r *EvalResult) clone() *EvalResult {
 	c := *r
@@ -296,15 +361,14 @@ func (r *EvalResult) clone() *EvalResult {
 	return &c
 }
 
-func (s *Server) evaluate(req EvalRequest, p costmodel.Pattern) *EvalResult {
+func (s *Server) evaluate(req EvalRequest, p costmodel.Pattern, prog *costmodel.CompiledPattern) *EvalResult {
 	model, err := s.reg.Model(req.Profile)
 	if err != nil {
 		return &EvalResult{Profile: req.Profile, Error: err.Error()}
 	}
-	eval, err := model.Evaluate(p)
-	if err != nil {
-		return &EvalResult{Profile: req.Profile, Pattern: p.String(), Error: err.Error()}
-	}
+	// The compiled program carries no profile state: the same prog is
+	// evaluated here against whichever hierarchy the request names.
+	eval := model.EvaluateCompiled(prog)
 	// TotalNS is left for the caller (Evaluate adds req.CPUNS after the
 	// cache, so cached entries stay CPU-estimate-agnostic).
 	res := &EvalResult{
@@ -332,22 +396,6 @@ func (s *Server) evaluate(req EvalRequest, p costmodel.Pattern) *EvalResult {
 		}
 	}
 	return res
-}
-
-// cacheKey canonicalizes a request: the *resolved* regions (so the key
-// reflects exactly what gets evaluated, with names %q-escaped so no
-// name can forge another declaration), the pattern in its parsed
-// (canonical) rendering, and the registry version so re-registering a
-// profile name invalidates old entries. CPUNS is deliberately absent
-// (see Evaluate).
-func (s *Server) cacheKey(req EvalRequest, regions map[string]*costmodel.Region, p costmodel.Pattern) string {
-	decls := make([]string, 0, len(regions))
-	for _, r := range regions {
-		decls = append(decls, fmt.Sprintf("%q:%d:%d", r.Name, r.N, r.W))
-	}
-	sort.Strings(decls)
-	return fmt.Sprintf("v%d|%q|%s|%s|%t",
-		s.reg.Version(), req.Profile, strings.Join(decls, ","), p.String(), req.Explain)
 }
 
 // ProfileInfo describes one registered profile.
@@ -400,10 +448,16 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cc := s.CompileCacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"profiles": len(s.reg.Names()),
 		"workers":  cap(s.sem),
+		"compile_cache": map[string]any{
+			"hits":    cc.Hits,
+			"misses":  cc.Misses,
+			"entries": cc.Entries,
+		},
 	})
 }
 
@@ -414,6 +468,26 @@ func (s *Server) CacheLen() int {
 		return 0
 	}
 	return s.cache.len()
+}
+
+// CompileCacheStats reports the compile cache's cumulative hit/miss
+// counters and current entry count (also exposed on /healthz).
+type CompileCacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// CompileCacheStats returns the compile cache counters.
+func (s *Server) CompileCacheStats() CompileCacheStats {
+	st := CompileCacheStats{
+		Hits:   s.compileHits.Load(),
+		Misses: s.compileMisses.Load(),
+	}
+	if s.compileCache != nil {
+		st.Entries = s.compileCache.len()
+	}
+	return st
 }
 
 // readJSON decodes a size-capped request body into v.

@@ -467,3 +467,134 @@ func TestConcurrentBatches(t *testing.T) {
 		}
 	}
 }
+
+// TestResultCacheCanonicalKey: the result cache is keyed by the
+// pattern's canonical form, so different spellings of the same access
+// behaviour — here ⊙ operands in swapped order — share one entry.
+func TestResultCacheCanonicalKey(t *testing.T) {
+	srv, _ := newTestServer(t, server.Config{Workers: 1})
+	regions := []server.RegionDecl{
+		{Name: "U", Items: 1 << 16, Width: 16},
+		{Name: "V", Items: 1 << 15, Width: 16},
+	}
+	a := srv.Evaluate(server.EvalRequest{
+		Profile: "origin2000", Regions: regions,
+		Pattern: "s_trav(U) (.) r_trav(V)",
+	})
+	if a.Error != "" || a.Cached {
+		t.Fatalf("first request: %+v", a)
+	}
+	b := srv.Evaluate(server.EvalRequest{
+		Profile: "origin2000", Regions: regions,
+		Pattern: "r_trav(V) (.) s_trav(U)", // ⊙ is commutative
+	})
+	if b.Error != "" {
+		t.Fatalf("second request: %+v", b)
+	}
+	if !b.Cached {
+		t.Error("swapped ⊙ operands missed the cache; canonical keying broken")
+	}
+	if b.MemoryNS != a.MemoryNS {
+		t.Errorf("memory_ns differs: %g vs %g", a.MemoryNS, b.MemoryNS)
+	}
+	// The cached hit must still echo *this* request's spelling, not
+	// the spelling that populated the entry.
+	if a.Pattern == b.Pattern {
+		t.Errorf("cached hit echoed the other request's pattern: %q", b.Pattern)
+	}
+
+	// Explained results follow the spelling's tree shape, so the two
+	// spellings must NOT share an explained cache entry.
+	ea := srv.Evaluate(server.EvalRequest{
+		Profile: "origin2000", Regions: regions,
+		Pattern: "s_trav(U) (.) r_trav(V)", Explain: true,
+	})
+	eb := srv.Evaluate(server.EvalRequest{
+		Profile: "origin2000", Regions: regions,
+		Pattern: "r_trav(V) (.) s_trav(U)", Explain: true,
+	})
+	if ea.Error != "" || eb.Error != "" {
+		t.Fatalf("explain requests failed: %+v / %+v", ea, eb)
+	}
+	if eb.Cached {
+		t.Error("explained result shared a cache entry across spellings")
+	}
+	if len(eb.Explain) < 3 || eb.Explain[1].Pattern == ea.Explain[1].Pattern {
+		t.Errorf("explain breakdown not spelling-specific: %+v vs %+v", ea.Explain, eb.Explain)
+	}
+}
+
+// TestCompileCacheSharedAcrossProfiles: evaluating the same pattern on
+// different profiles must compile once — the second evaluation is a
+// result-cache miss (different profile) but a compile-cache hit.
+func TestCompileCacheSharedAcrossProfiles(t *testing.T) {
+	srv, _ := newTestServer(t, server.Config{Workers: 1})
+	regions := []server.RegionDecl{{Name: "U", Items: 1 << 16, Width: 16}}
+	for _, profile := range []string{"origin2000", "modern-x86", "small-test"} {
+		res := srv.Evaluate(server.EvalRequest{
+			Profile: profile, Regions: regions, Pattern: "rr_trav(3, U)",
+		})
+		if res.Error != "" || res.Cached {
+			t.Fatalf("%s: %+v", profile, res)
+		}
+	}
+	st := srv.CompileCacheStats()
+	if st.Misses != 1 {
+		t.Errorf("compile misses = %d, want 1 (one pattern)", st.Misses)
+	}
+	if st.Hits != 2 {
+		t.Errorf("compile hits = %d, want 2 (two further profiles)", st.Hits)
+	}
+	if st.Entries != 1 {
+		t.Errorf("compile cache entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestHealthzCompileCacheCounters: the counters surface on /healthz.
+func TestHealthzCompileCacheCounters(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{Workers: 1})
+	srv.Evaluate(server.EvalRequest{
+		Profile: "origin2000",
+		Regions: []server.RegionDecl{{Name: "U", Items: 4096, Width: 16}},
+		Pattern: "s_trav(U)",
+	})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status       string `json:"status"`
+		CompileCache struct {
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+			Entries int    `json:"entries"`
+		} `json:"compile_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Errorf("status = %q", body.Status)
+	}
+	if body.CompileCache.Misses != 1 || body.CompileCache.Entries != 1 {
+		t.Errorf("compile_cache = %+v, want 1 miss / 1 entry", body.CompileCache)
+	}
+}
+
+// TestCompileCacheDisabled: negative CompileCacheSize disables
+// interning; every evaluation re-compiles and still works.
+func TestCompileCacheDisabled(t *testing.T) {
+	srv, _ := newTestServer(t, server.Config{Workers: 1, CompileCacheSize: -1, CacheSize: -1})
+	regions := []server.RegionDecl{{Name: "U", Items: 4096, Width: 16}}
+	for i := 0; i < 3; i++ {
+		res := srv.Evaluate(server.EvalRequest{Profile: "origin2000", Regions: regions, Pattern: "s_trav(U)"})
+		if res.Error != "" {
+			t.Fatalf("evaluation %d: %+v", i, res)
+		}
+	}
+	st := srv.CompileCacheStats()
+	if st.Hits != 0 || st.Misses != 3 || st.Entries != 0 {
+		t.Errorf("disabled compile cache stats = %+v, want 0 hits / 3 misses / 0 entries", st)
+	}
+}
