@@ -1,11 +1,14 @@
 // Command costmodel evaluates data access patterns on hardware
 // profiles using the paper's generic cost model.
 //
-// It has four subcommands:
+// It has five subcommands:
 //
 //	costmodel eval       evaluate one pattern and print per-level misses
 //	                     and the memory access time (Eq. 3.1); the
 //	                     default when no subcommand is given
+//	costmodel scenarios  list the query-plan scenario catalog, or rank a
+//	                     scenario's physical plans (join order +
+//	                     algorithm choices) on a hardware profile
 //	costmodel calibrate  discover this machine's (or a simulated
 //	                     machine's) cache hierarchy and register it as a
 //	                     hardware profile
@@ -13,7 +16,8 @@
 //	                     relative error of the model's predictions
 //	                     against reference cache simulation
 //	costmodel serve      run the HTTP/JSON evaluation service (which
-//	                     also exposes calibrate and validate endpoints)
+//	                     also exposes plan, calibrate and validate
+//	                     endpoints)
 //
 // Regions are declared as name:items:width triples; the pattern uses
 // the paper's Table 2 language with (+) for ⊕ and (.) for ⊙:
@@ -24,6 +28,8 @@
 //	costmodel eval -region U:4194304:8 \
 //	    -pattern 'rs_trav(10, bi, U)' -profile modern-x86 -cpu 1e6 -explain
 //
+//	costmodel scenarios
+//	costmodel scenarios -scenario join3-chain-q3 -profile modern-x86 -top 5
 //	costmodel calibrate -name this-box
 //	costmodel validate -quick -json
 //	costmodel serve -addr :8080
@@ -51,6 +57,9 @@ func main() {
 			return
 		case "validate":
 			runValidate(args[1:])
+			return
+		case "scenarios":
+			runScenarios(args[1:])
 			return
 		case "eval":
 			args = args[1:]

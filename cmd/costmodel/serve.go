@@ -13,6 +13,7 @@ import (
 // runServe runs the HTTP/JSON batch evaluation service:
 //
 //	POST /v1/evaluate   single or batched pattern+profile evaluations
+//	POST /v1/plan       whole-query plan ranking (scenario or inline query)
 //	GET  /v1/profiles   registered hardware profiles
 //	POST /v1/calibrate  async hardware self-calibration (GET ?id= polls)
 //	GET  /v1/validate   predicted-vs-simulated validation sweep
@@ -46,6 +47,6 @@ func runServe(args []string) {
 		WriteTimeout: time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
-	log.Printf("costmodel: serving on %s (POST /v1/evaluate, GET /v1/profiles, POST+GET /v1/calibrate, GET /v1/validate, GET /healthz)", *addr)
+	log.Printf("costmodel: serving on %s (POST /v1/evaluate, POST /v1/plan, GET /v1/profiles, POST+GET /v1/calibrate, GET /v1/validate, GET /healthz)", *addr)
 	log.Fatal(httpSrv.ListenAndServe())
 }

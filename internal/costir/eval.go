@@ -1,6 +1,7 @@
 package costir
 
 import (
+	"slices"
 	"sort"
 	"sync"
 
@@ -24,10 +25,18 @@ import (
 //
 // The cache state of one level is a dense []float64 over the program's
 // deduplicated region table (rho per region; 0 = not resident), so the
-// pointer-keyed maps of the tree walker become flat rows. All cache
-// levels are computed in a single pass over the instruction stream,
-// and every scratch buffer lives in a pooled evaluator, so steady-state
-// evaluation performs no heap allocation.
+// pointer-keyed maps of the tree walker become flat rows. Each row
+// additionally carries a sorted list of its non-zero indices: state
+// merges, snapshots and restores walk only the resident entries (≤
+// maxStateEntries) instead of the whole region table, which keeps
+// evaluation near-linear in the instruction count even for plan-level
+// programs whose partitioned joins intern hundreds of sub-regions.
+// Iteration follows the lists in ascending index order — the same order
+// a dense scan would visit — so floating-point sums are bit-identical
+// to the reference walker's. All cache levels are computed in a single
+// pass over the instruction stream, and every scratch buffer lives in a
+// pooled evaluator, so steady-state evaluation performs no heap
+// allocation.
 
 // Misses is the per-level pair (M^s, M^r) of expected sequential and
 // random misses, shared with internal/cost via internal/costmath.
@@ -81,9 +90,13 @@ type frame struct {
 	snap   []float64        // entry state, all levels (children start equal)
 	merged []float64        // pointwise max of children's result states
 	saved  []costmath.Level // level params before cache division
-	slot0  int32
-	n      int32
-	child  int32
+	// snapNZ / mergedNZ track the non-zero indices of snap and merged
+	// per level; snapNZ stays sorted, mergedNZ is sorted before use.
+	snapNZ   [][]int32
+	mergedNZ [][]int32
+	slot0    int32
+	n        int32
+	child    int32
 }
 
 // evaluator holds every scratch buffer one evaluation needs. Buffer
@@ -93,15 +106,22 @@ type frame struct {
 type evaluator struct {
 	nL       int // level capacity buffers are sized for
 	state    []float64
+	stateNZ  [][]int32 // sorted non-zero indices of state, per level
 	miss     []Misses
 	lp       []costmath.Level
 	frames   []frame
 	footVals []float64
 	footStk  []float64
-	newList  []int32   // conc-merge: indices present in the merged state
 	bndIdx   []int32   // boundRow: candidate indices
 	key      []float64 // boundRow: resident bytes per region index
 	sorter   rowSorter
+	// Generation-stamped marks for concMerge's relatedness test:
+	// ancStamp[r] == gen marks r as ancestor-or-self of a merged
+	// region; mergedStamp[r] == gen marks r as merged. Stamping
+	// replaces per-call clearing.
+	ancStamp    []uint64
+	mergedStamp []uint64
+	gen         uint64
 }
 
 func (p *Program) getEvaluator(nL int) *evaluator {
@@ -134,15 +154,18 @@ func (ev *evaluator) ensure(p *Program, nL int) {
 	if len(ev.footStk) < p.footDepth {
 		ev.footStk = make([]float64, p.footDepth)
 	}
-	if cap(ev.newList) < nR {
-		ev.newList = make([]int32, 0, nR)
-	}
 	if cap(ev.bndIdx) < nR {
 		ev.bndIdx = make([]int32, 0, nR)
 	}
 	if len(ev.key) < nR {
 		ev.key = make([]float64, nR)
 	}
+	if len(ev.ancStamp) < nR {
+		ev.ancStamp = make([]uint64, nR)
+		ev.mergedStamp = make([]uint64, nR)
+		ev.gen = 0
+	}
+	ev.stateNZ = ensureNZ(ev.stateNZ, capL, nR)
 	if len(ev.frames) < p.maxDepth {
 		ev.frames = append(ev.frames, make([]frame, p.maxDepth-len(ev.frames))...)
 	}
@@ -151,11 +174,33 @@ func (ev *evaluator) ensure(p *Program, nL int) {
 		if need := capL * nR; len(f.snap) < need {
 			f.snap = make([]float64, need)
 			f.merged = make([]float64, need)
+			// The freshly zeroed buffers make any stale non-zero lists
+			// wrong; reset them alongside.
+			for li := range f.snapNZ {
+				f.snapNZ[li] = f.snapNZ[li][:0]
+				f.mergedNZ[li] = f.mergedNZ[li][:0]
+			}
 		}
+		f.snapNZ = ensureNZ(f.snapNZ, capL, nR)
+		f.mergedNZ = ensureNZ(f.mergedNZ, capL, nR)
 		if len(f.saved) < capL {
 			f.saved = make([]costmath.Level, capL)
 		}
 	}
+}
+
+// ensureNZ sizes a per-level non-zero index list set: one slice per
+// level, each with room for every region.
+func ensureNZ(nz [][]int32, nLevels, nR int) [][]int32 {
+	if len(nz) < nLevels {
+		nz = append(nz, make([][]int32, nLevels-len(nz))...)
+	}
+	for i := range nz {
+		if cap(nz[i]) < nR {
+			nz[i] = make([]int32, 0, nR)
+		}
+	}
+	return nz
 }
 
 // run executes the program for all levels in one pass.
@@ -168,6 +213,7 @@ func (ev *evaluator) run(p *Program, levels []hardware.Level) {
 			L: float64(levels[i].Lines()),
 		}
 		ev.miss[i] = Misses{}
+		ev.stateNZ[i] = ev.stateNZ[i][:0]
 	}
 	clear(ev.state[:nL*nR])
 
@@ -181,21 +227,41 @@ func (ev *evaluator) run(p *Program, levels []hardware.Level) {
 			f := &ev.frames[depth]
 			depth++
 			f.slot0, f.n, f.child = in.Reg, in.N, 0
-			copy(f.snap[:nL*nR], ev.state[:nL*nR])
-			clear(f.merged[:nL*nR])
+			for li := 0; li < nL; li++ {
+				// Snapshot the entry state and reset the merged
+				// accumulator, touching only (possibly stale) non-zero
+				// entries.
+				snapRow := f.snap[li*nR : (li+1)*nR]
+				for _, r := range f.snapNZ[li] {
+					snapRow[r] = 0
+				}
+				row := ev.state[li*nR : (li+1)*nR]
+				f.snapNZ[li] = append(f.snapNZ[li][:0], ev.stateNZ[li]...)
+				for _, r := range f.snapNZ[li] {
+					snapRow[r] = row[r]
+				}
+				mrgRow := f.merged[li*nR : (li+1)*nR]
+				for _, r := range f.mergedNZ[li] {
+					mrgRow[r] = 0
+				}
+				f.mergedNZ[li] = f.mergedNZ[li][:0]
+			}
 			copy(f.saved[:nL], ev.lp[:nL])
 			ev.setChildLp(f, nL)
 		case opNext:
 			f := &ev.frames[depth-1]
-			ev.maxMerge(f, nL*nR)
-			copy(ev.state[:nL*nR], f.snap[:nL*nR])
+			for li := 0; li < nL; li++ {
+				ev.maxMerge(f, li, nR)
+				ev.restoreSnap(f, li, nR)
+			}
 			f.child++
 			ev.setChildLp(f, nL)
 		case opEnd:
 			depth--
 			f := &ev.frames[depth]
-			ev.maxMerge(f, nL*nR)
 			for li := 0; li < nL; li++ {
+				ev.maxMerge(f, li, nR)
+				slices.Sort(f.mergedNZ[li])
 				ev.concMerge(p, f, li, nR)
 			}
 			copy(ev.lp[:nL], f.saved[:nL])
@@ -204,6 +270,20 @@ func (ev *evaluator) run(p *Program, levels []hardware.Level) {
 				ev.evalBasic(p, in, li, nR)
 			}
 		}
+	}
+}
+
+// restoreSnap resets one level of the live state to the frame's entry
+// snapshot (the next ⊙ child starts from the same state).
+func (ev *evaluator) restoreSnap(f *frame, li, nR int) {
+	row := ev.state[li*nR : (li+1)*nR]
+	for _, r := range ev.stateNZ[li] {
+		row[r] = 0
+	}
+	ev.stateNZ[li] = append(ev.stateNZ[li][:0], f.snapNZ[li]...)
+	snapRow := f.snap[li*nR : (li+1)*nR]
+	for _, r := range ev.stateNZ[li] {
+		row[r] = snapRow[r]
 	}
 }
 
@@ -282,15 +362,19 @@ func (ev *evaluator) setChildLp(f *frame, nL int) {
 	}
 }
 
-// maxMerge folds the current state (one finished ⊙ child) into the
-// frame's merged accumulator: after ⊙ the cache holds a fraction of
-// each region proportional to its pattern's share.
-func (ev *evaluator) maxMerge(f *frame, n int) {
-	st := ev.state[:n]
-	mrg := f.merged[:n]
-	for i, v := range st {
-		if v > mrg[i] {
-			mrg[i] = v
+// maxMerge folds one level of the current state (one finished ⊙ child)
+// into the frame's merged accumulator: after ⊙ the cache holds a
+// fraction of each region proportional to its pattern's share.
+func (ev *evaluator) maxMerge(f *frame, li, nR int) {
+	st := ev.state[li*nR : (li+1)*nR]
+	mrg := f.merged[li*nR : (li+1)*nR]
+	for _, r := range ev.stateNZ[li] {
+		v := st[r]
+		if mrg[r] == 0 {
+			f.mergedNZ[li] = append(f.mergedNZ[li], r)
+			mrg[r] = v
+		} else if v > mrg[r] {
+			mrg[r] = v
 		}
 	}
 }
@@ -347,9 +431,9 @@ func (ev *evaluator) evalBasic(p *Program, in *instr, li, nR int) {
 		if rhoNew > 1 {
 			rhoNew = 1
 		}
-		ev.mergeBasic(p, row, lv, in.Reg, rhoNew)
+		ev.mergeBasic(p, row, li, lv, in.Reg, rhoNew)
 	} else {
-		ev.mergeEmpty(p, row, lv)
+		ev.mergeEmpty(p, row, li, lv)
 	}
 }
 
@@ -386,98 +470,116 @@ func isRandomOp(in *instr) bool {
 	return false
 }
 
-// related reports whether regions a and b overlap through the
-// sub-region parent chain (ancestor, descendant, or equal).
-func (p *Program) related(a, b int32) bool {
-	for x := a; x >= 0; x = p.regions[x].Parent {
-		if x == b {
-			return true
-		}
-	}
-	for x := b; x >= 0; x = p.regions[x].Parent {
-		if x == a {
-			return true
-		}
-	}
-	return false
-}
-
 // mergeBasic merges the single-region state a basic pattern leaves
 // behind with the previous row contents, mirroring the tree walker's
 // mergeState: earlier regions survive as long as the new resident
 // bytes leave room, scaled down proportionally otherwise; entries
 // overlapping the new region (same identity or related through the
 // parent chain) are superseded.
-func (ev *evaluator) mergeBasic(p *Program, row []float64, lv costmath.Level, ri int32, rhoNew float64) {
+func (ev *evaluator) mergeBasic(p *Program, row []float64, li int, lv costmath.Level, ri int32, rhoNew float64) {
+	lst := ev.stateNZ[li]
 	newBytes := rhoNew * float64(p.regions[ri].Size())
 	avail := lv.C - newBytes
 	if avail <= 0 {
-		clear(row)
-		row[ri] = rhoNew
+		ev.resetTo(row, li, ri, rhoNew)
 		return
 	}
+	// Mark ri's ancestor-or-self chain once; relatedness of each old
+	// entry then needs only a stamp probe plus its own parent walk.
+	ev.gen++
+	for x := ri; x >= 0; x = p.regions[x].Parent {
+		ev.ancStamp[x] = ev.gen
+	}
+	relatedToNew := func(r int32) bool {
+		if ev.ancStamp[r] == ev.gen {
+			return true // r is ri or an ancestor of ri
+		}
+		for x := p.regions[r].Parent; x >= 0; x = p.regions[x].Parent {
+			if x == ri {
+				return true // ri contains r
+			}
+		}
+		return false
+	}
 	var oldBytes float64
-	for r, f := range row {
-		if f == 0 || int32(r) == ri || p.related(int32(r), ri) {
+	for _, r := range lst {
+		if r == ri || relatedToNew(r) {
 			continue
 		}
-		oldBytes += f * float64(p.regions[r].Size())
+		oldBytes += row[r] * float64(p.regions[r].Size())
 	}
 	if oldBytes <= 0 {
-		clear(row)
-		row[ri] = rhoNew
+		ev.resetTo(row, li, ri, rhoNew)
 		return
 	}
 	scale := 1.0
 	if oldBytes > avail {
 		scale = avail / oldBytes
 	}
-	for r, f := range row {
-		if f == 0 || int32(r) == ri {
-			continue
+	out := lst[:0]
+	for _, r := range lst {
+		if r == ri {
+			continue // re-inserted below with its new fraction
 		}
-		if p.related(int32(r), ri) {
+		if relatedToNew(r) {
 			row[r] = 0
 			continue
 		}
-		if g := f * scale; g > 1e-9 {
+		if g := row[r] * scale; g > 1e-9 {
 			row[r] = g
+			out = append(out, r)
 		} else {
 			row[r] = 0
 		}
 	}
 	row[ri] = rhoNew
-	ev.boundRow(p, row)
+	i, _ := slices.BinarySearch(out, ri)
+	out = append(out, 0)
+	copy(out[i+1:], out[i:])
+	out[i] = ri
+	ev.stateNZ[li] = out
+	ev.boundRow(p, row, li)
+}
+
+// resetTo empties one level's state and leaves only region ri resident.
+func (ev *evaluator) resetTo(row []float64, li int, ri int32, rho float64) {
+	for _, r := range ev.stateNZ[li] {
+		row[r] = 0
+	}
+	row[ri] = rho
+	ev.stateNZ[li] = append(ev.stateNZ[li][:0], ri)
 }
 
 // mergeEmpty merges an empty result state (a zero-size region leaves
 // nothing behind): previous contents are rescaled to the capacity.
-func (ev *evaluator) mergeEmpty(p *Program, row []float64, lv costmath.Level) {
+func (ev *evaluator) mergeEmpty(p *Program, row []float64, li int, lv costmath.Level) {
+	lst := ev.stateNZ[li]
 	var oldBytes float64
-	for r, f := range row {
-		if f != 0 {
-			oldBytes += f * float64(p.regions[r].Size())
-		}
+	for _, r := range lst {
+		oldBytes += row[r] * float64(p.regions[r].Size())
 	}
 	if oldBytes <= 0 {
-		clear(row)
+		for _, r := range lst {
+			row[r] = 0
+		}
+		ev.stateNZ[li] = lst[:0]
 		return
 	}
 	scale := 1.0
 	if oldBytes > lv.C {
 		scale = lv.C / oldBytes
 	}
-	for r, f := range row {
-		if f == 0 {
-			continue
-		}
-		if g := f * scale; g > 1e-9 {
+	out := lst[:0]
+	for _, r := range lst {
+		if g := row[r] * scale; g > 1e-9 {
 			row[r] = g
+			out = append(out, r)
 		} else {
 			row[r] = 0
 		}
 	}
-	ev.boundRow(p, row)
+	ev.stateNZ[li] = out
+	ev.boundRow(p, row, li)
 }
 
 // concMerge finishes one level of a ⊙ group: the max-merged child
@@ -488,35 +590,53 @@ func (ev *evaluator) concMerge(p *Program, f *frame, li, nR int) {
 	old := f.snap[li*nR : (li+1)*nR]
 	mrg := f.merged[li*nR : (li+1)*nR]
 	row := ev.state[li*nR : (li+1)*nR]
-	copy(row, mrg)
 
-	newList := ev.newList[:0]
-	var newBytes float64
-	for r, fv := range mrg {
-		if fv != 0 {
-			newList = append(newList, int32(r))
-			newBytes += fv * float64(p.regions[r].Size())
-		}
+	// Replace the live state with the merged child states. mergedNZ is
+	// sorted by the caller, so the newBytes sum visits regions in the
+	// same ascending order a dense scan would.
+	for _, r := range ev.stateNZ[li] {
+		row[r] = 0
 	}
+	lst := ev.stateNZ[li][:0]
+	var newBytes float64
+	for _, r := range f.mergedNZ[li] {
+		row[r] = mrg[r]
+		lst = append(lst, r)
+		newBytes += mrg[r] * float64(p.regions[r].Size())
+	}
+	ev.stateNZ[li] = lst
+
 	avail := lv.C - newBytes
 	if avail <= 0 {
 		return
 	}
-	keep := func(r int32) bool {
-		if mrg[r] != 0 {
-			return false
+	// An entry of the entry state survives only if it is unrelated to
+	// every merged region. Mark the merged regions and their ancestor
+	// chains once (generation stamps avoid clearing), so each survival
+	// test is a parent-chain walk instead of a scan over all merged
+	// regions.
+	ev.gen++
+	for _, n := range f.mergedNZ[li] {
+		ev.mergedStamp[n] = ev.gen
+		for x := n; x >= 0; x = p.regions[x].Parent {
+			ev.ancStamp[x] = ev.gen
 		}
-		for _, n := range newList {
-			if p.related(r, n) {
-				return false
+	}
+	keep := func(r int32) bool {
+		if ev.ancStamp[r] == ev.gen {
+			return false // r is merged, or an ancestor of a merged region
+		}
+		for x := p.regions[r].Parent; x >= 0; x = p.regions[x].Parent {
+			if ev.mergedStamp[x] == ev.gen {
+				return false // a merged region contains r
 			}
 		}
 		return true
 	}
 	var oldBytes float64
-	for r, fv := range old {
-		if fv != 0 && keep(int32(r)) {
-			oldBytes += fv * float64(p.regions[r].Size())
+	for _, r := range f.snapNZ[li] {
+		if keep(r) {
+			oldBytes += old[r] * float64(p.regions[r].Size())
 		}
 	}
 	if oldBytes <= 0 {
@@ -526,37 +646,55 @@ func (ev *evaluator) concMerge(p *Program, f *frame, li, nR int) {
 	if oldBytes > avail {
 		scale = avail / oldBytes
 	}
-	for r, fv := range old {
-		if fv == 0 || !keep(int32(r)) {
+	added := false
+	for _, r := range f.snapNZ[li] {
+		if !keep(r) {
 			continue
 		}
-		if g := fv * scale; g > 1e-9 {
+		if g := old[r] * scale; g > 1e-9 {
 			row[r] = g
+			ev.stateNZ[li] = append(ev.stateNZ[li], r)
+			added = true
 		}
 	}
-	ev.boundRow(p, row)
+	if added {
+		slices.Sort(ev.stateNZ[li])
+	}
+	ev.boundRow(p, row, li)
 }
 
 // boundRow enforces maxStateEntries, keeping the entries with the most
 // resident bytes (ties: region name, then index), exactly like the
 // tree walker's boundState.
-func (ev *evaluator) boundRow(p *Program, row []float64) {
-	n := 0
-	for _, f := range row {
-		if f != 0 {
-			n++
-		}
-	}
-	if n <= maxStateEntries {
+func (ev *evaluator) boundRow(p *Program, row []float64, li int) {
+	lst := ev.stateNZ[li]
+	k := len(lst) - maxStateEntries
+	if k <= 0 {
 		return
 	}
-	idx := ev.bndIdx[:0]
-	for r, f := range row {
-		if f != 0 {
-			idx = append(idx, int32(r))
-			ev.key[r] = f * float64(p.regions[r].Size())
-		}
+	for _, r := range lst {
+		ev.key[r] = row[r] * float64(p.regions[r].Size())
 	}
+	if k <= 4 {
+		// The common case — a merge pushed the row a few entries over
+		// the bound — drops the k lowest-ranked entries by linear scan
+		// instead of sorting the whole row. The ranking's total order
+		// (bytes desc, name asc, index asc) makes the dropped set
+		// identical to the full sort's tail.
+		for ; k > 0; k-- {
+			worst := 0
+			for i := 1; i < len(lst); i++ {
+				if ev.dropsBefore(p, lst[worst], lst[i]) {
+					worst = i
+				}
+			}
+			row[lst[worst]] = 0
+			lst = append(lst[:worst], lst[worst+1:]...)
+		}
+		ev.stateNZ[li] = lst
+		return
+	}
+	idx := append(ev.bndIdx[:0], lst...)
 	ev.sorter.idx = idx
 	ev.sorter.key = ev.key
 	ev.sorter.regs = p.regions
@@ -564,6 +702,23 @@ func (ev *evaluator) boundRow(p *Program, row []float64) {
 	for _, r := range idx[maxStateEntries:] {
 		row[r] = 0
 	}
+	kept := idx[:maxStateEntries]
+	slices.Sort(kept)
+	ev.stateNZ[li] = append(lst[:0], kept...)
+}
+
+// dropsBefore reports whether region b ranks below region a in the
+// retention order (i.e. b is dropped before a): fewer resident bytes,
+// ties by name descending, then index descending — the exact reverse
+// of rowSorter's keep order.
+func (ev *evaluator) dropsBefore(p *Program, a, b int32) bool {
+	if ev.key[a] != ev.key[b] {
+		return ev.key[b] < ev.key[a]
+	}
+	if p.regions[a].Name != p.regions[b].Name {
+		return p.regions[b].Name > p.regions[a].Name
+	}
+	return b > a
 }
 
 // rowSorter orders region indices by resident bytes descending, then

@@ -174,6 +174,12 @@ func RRTravCount(lv Level, m0 float64, repeats int64) float64 {
 // item count D (Stirling expectation, closed form) mapped to lines via
 // the dense/sparse interpolation.
 func RAccLines(lv Level, n, w int64, u float64, count int64) float64 {
+	if n <= 0 || count <= 0 {
+		// A zero-size region (or no accesses at all) touches nothing;
+		// guard before the distinct-item expectation, which is
+		// undefined for an empty urn.
+		return 0
+	}
 	// Expected number of distinct items touched by `count` independent
 	// uniform accesses (closed form of the Stirling-number expectation).
 	d := combinatorics.ExpectedDistinct(n, count)

@@ -1,0 +1,66 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/region"
+)
+
+// fuzzRegions is the region namespace fuzz inputs resolve against.
+func fuzzRegions() map[string]*region.Region {
+	return map[string]*region.Region{
+		"U": region.New("U", 1_000_000, 8),
+		"V": region.New("V", 250_000, 16),
+		"H": region.New("H", 2_097_152, 16),
+		"W": region.New("W", 1_000_000, 8),
+		"X": region.New("X", 4_096, 64),
+	}
+}
+
+// FuzzParsePattern feeds arbitrary text through the Table-2 parser:
+// parsing must never panic, and every accepted input must round-trip —
+// Parse → String → Parse succeeds, re-rendering is a fixpoint, and the
+// parsed tree validates. (String canonicalizes spelling — flattened ⊙
+// chains, normalized u annotations — so the fixpoint is asserted on the
+// rendered form, not the raw input.)
+func FuzzParsePattern(f *testing.F) {
+	seeds := []string{
+		"s_trav(U)",
+		"s_trav~(U, u=4)",
+		"rs_trav(10, bi, U)",
+		"rs_trav~(3, uni, X, u=8)",
+		"r_trav(H)",
+		"rr_trav(7, V)",
+		"r_acc(1000000, H)",
+		"nest(X, 64, s_trav(X_j), rnd)",
+		"nest(X, 16, r_acc(100, X_j, u=8), bi)",
+		"s_trav(U) (.) r_acc(1000000, H) (.) s_trav(W)",
+		"s_trav(V) (.) r_trav(H) (+) [s_trav(U) (.) s_trav(W)]",
+		"[s_trav(U) (+) s_trav(V)] (.) s_trav(W)",
+		"rs_trav(2, bi, U) (+) nest(X, 8, r_trav(X_j), uni)",
+		"s_trav(U) (.) [s_trav(V) (+) s_trav(W)] (.) s_trav(X)",
+		"r_acc(5, U, u=3) (+) r_acc(5, U, u=3)",
+		"", "(", "s_trav", "s_trav()", "nest(U, 0, s_trav(U_j), rnd)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		regions := fuzzRegions()
+		p, err := Parse(input, regions)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if err := Validate(p); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejects the result: %v", input, err)
+		}
+		s := p.String()
+		p2, err := Parse(s, regions)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", s, input, err)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("String not a fixpoint:\n  input: %q\n  once:  %q\n  twice: %q", input, s, s2)
+		}
+	})
+}

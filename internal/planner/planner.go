@@ -21,37 +21,30 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hardware"
 	"repro/internal/pattern"
+	"repro/internal/queryplan"
 	"repro/internal/region"
 )
 
-// Relation describes an input's logical properties.
-type Relation struct {
-	Name   string
-	Tuples int64
-	Width  int64 // bytes per tuple, ≥ engine.KeyWidth
-	Sorted bool  // key-sorted, enabling merge algorithms without a sort
-}
-
-// Region returns the relation's data-region descriptor.
-func (r Relation) Region() *region.Region {
-	return region.New(r.Name, r.Tuples, r.Width)
-}
+// Relation describes an input's logical properties. The type lives in
+// internal/queryplan (plan-level composition needs it below the
+// planner); this alias keeps the planner API self-contained.
+type Relation = queryplan.Relation
 
 // Algorithm identifies a physical operator implementation.
-type Algorithm string
+type Algorithm = queryplan.Algorithm
 
 // The planner's physical algorithm inventory.
 const (
-	NestedLoopJoin      Algorithm = "nested-loop-join"
-	MergeJoin           Algorithm = "merge-join"
-	SortMergeJoin       Algorithm = "sort-merge-join"
-	HashJoin            Algorithm = "hash-join"
-	PartitionedHashJoin Algorithm = "partitioned-hash-join"
-	QuickSort           Algorithm = "quick-sort"
-	HashAggregate       Algorithm = "hash-aggregate"
-	SortAggregate       Algorithm = "sort-aggregate"
-	HashDistinct        Algorithm = "hash-distinct"
-	SortDistinct        Algorithm = "sort-distinct"
+	NestedLoopJoin      = queryplan.NestedLoopJoin
+	MergeJoin           = queryplan.MergeJoin
+	SortMergeJoin       = queryplan.SortMergeJoin
+	HashJoin            = queryplan.HashJoin
+	PartitionedHashJoin = queryplan.PartitionedHashJoin
+	QuickSort           = queryplan.QuickSort
+	HashAggregate       = queryplan.HashAggregate
+	SortAggregate       = queryplan.SortAggregate
+	HashDistinct        = queryplan.HashDistinct
+	SortDistinct        = queryplan.SortDistinct
 )
 
 // Candidate is one enumerated physical alternative before costing: the
@@ -131,17 +124,10 @@ type Planner struct {
 }
 
 // CPUCosts are the per-tuple T_cpu constants per algorithm step.
-type CPUCosts struct {
-	Compare   float64 // one key comparison + cursor advance
-	Hash      float64 // hash + bucket access
-	Move      float64 // copy one tuple
-	Partition float64 // hash + cluster append
-}
+type CPUCosts = queryplan.CPUCosts
 
 // DefaultCPU returns constants in line with the experiments package.
-func DefaultCPU() CPUCosts {
-	return CPUCosts{Compare: 20, Hash: 100, Move: 20, Partition: 50}
-}
+func DefaultCPU() CPUCosts { return queryplan.DefaultCPU() }
 
 // New creates a planner for the hierarchy; the hierarchy must
 // validate (the same requirement cost.New enforces).

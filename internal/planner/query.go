@@ -1,0 +1,81 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/costir"
+	"repro/internal/queryplan"
+)
+
+// Plan-level planning: where JoinCandidates and friends rank the
+// physical alternatives of a single operator, the Query entry points
+// rank whole query plans — join order plus an algorithm choice per
+// operator — by lowering each queryplan.Plan to one compound pattern
+// (Eq. 5.2 threads cache state across the operators) and compiling it
+// once into the cost IR. The resulting Candidates re-score across
+// hardware profiles through the same ScoreOn every single-operator
+// candidate uses; Candidate.Algorithm carries the plan signature.
+
+// QueryCandidates enumerates the physical plans of a logical query
+// (left-deep join orders over the query's join graph, per-join and
+// per-grouping algorithm choices), lowers each to its compound access
+// pattern, and compiles it exactly once. Quick-sort patterns are pruned
+// at the planner's smallest cache capacity.
+//
+// Cost-equivalent plans collapse: two plans whose patterns share a
+// canonical form and whose CPU estimates agree — e.g. the two build
+// sides of a symmetric hash join — are priced identically on every
+// hierarchy, so only the first enumerated signature is kept.
+func (pl *Planner) QueryCandidates(q queryplan.Query) ([]Candidate, error) {
+	plans, err := queryplan.Enumerate(q, queryplan.Options{
+		CPU:        pl.cpu,
+		PruneBytes: pl.minCapacity(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]Candidate, 0, len(plans))
+	seen := make(map[string]bool, len(plans))
+	for _, p := range plans {
+		pat, cpuNS, err := p.Lower(pl.cpu, pl.minCapacity())
+		if err != nil {
+			return nil, fmt.Errorf("planner: lowering plan %s: %w", p.Signature(), err)
+		}
+		canon, err := costir.CanonicalKey(pat)
+		if err != nil {
+			return nil, fmt.Errorf("planner: canonicalizing plan %s: %w", p.Signature(), err)
+		}
+		key := fmt.Sprintf("%s|%.17g", canon, cpuNS)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		c, err := newCandidate(Algorithm(p.Signature()), pat, p.Fanout, cpuNS)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, c)
+	}
+	return cands, nil
+}
+
+// QueryPlans enumerates and costs the physical plans of q on the
+// planner's own hierarchy, sorted cheapest first. Plan.Algorithm holds
+// the plan signature (join order, join algorithms, grouping variant).
+func (pl *Planner) QueryPlans(q queryplan.Query) ([]Plan, error) {
+	cands, err := pl.QueryCandidates(q)
+	if err != nil {
+		return nil, err
+	}
+	return ScoreOn(pl.hier, cands), nil
+}
+
+// BestQueryPlan returns the cheapest plan for q on the planner's
+// hierarchy.
+func (pl *Planner) BestQueryPlan(q queryplan.Query) (Plan, error) {
+	plans, err := pl.QueryPlans(q)
+	if err != nil {
+		return Plan{}, err
+	}
+	return plans[0], nil
+}

@@ -1,0 +1,189 @@
+package queryplan
+
+// Scenario is one named, ready-made query of the catalog: a logical
+// query shape with concrete relation sizes and selectivities, so the
+// same plan-pricing question can be asked reproducibly across hardware
+// profiles. The golden-corpus regression harness (golden_test.go) locks
+// every scenario's winning plan and cost per profile.
+type Scenario struct {
+	Name        string
+	Description string
+	Query       Query
+}
+
+// Catalog returns the built-in scenarios: single-operator shapes, hash-
+// vs sort-alternative decisions, 2–4 relation join-order problems, and
+// TPC-H Q1/Q3-shaped analytical pipelines. Every scenario's join graph
+// is connected and enumerates to at most a few thousand plans.
+func Catalog() []Scenario {
+	return []Scenario{
+		{
+			Name:        "scan-filter",
+			Description: "selective predicate scan over a 1M-row table (single-plan baseline)",
+			Query: Query{
+				Relations: []Relation{{Name: "L", Tuples: 1_000_000, Width: 32}},
+				Filters:   []float64{0.02},
+			},
+		},
+		{
+			Name:        "scan-project",
+			Description: "narrow 16-byte projection of a wide 128-byte table",
+			Query: Query{
+				Relations:   []Relation{{Name: "W", Tuples: 500_000, Width: 128}},
+				Projections: []int64{16},
+			},
+		},
+		{
+			Name:        "sort-unsorted",
+			Description: "order-by over an unsorted 500k-row table",
+			Query: Query{
+				Relations: []Relation{{Name: "U", Tuples: 500_000, Width: 32}},
+				SortBy:    true,
+			},
+		},
+		{
+			Name:        "distinct-dense",
+			Description: "duplicate elimination with few distinct values (hash table stays cache-resident)",
+			Query: Query{
+				Relations: []Relation{{Name: "U", Tuples: 400_000, Width: 16}},
+				Distinct:  1_000,
+			},
+		},
+		{
+			Name:        "distinct-sparse",
+			Description: "duplicate elimination with mostly-unique values (hash table exceeds the caches)",
+			Query: Query{
+				Relations: []Relation{{Name: "U", Tuples: 400_000, Width: 16}},
+				Distinct:  300_000,
+			},
+		},
+		{
+			Name:        "groupby-few",
+			Description: "TPC-H Q1 shape: near-full scan aggregated into a handful of groups",
+			Query: Query{
+				Relations: []Relation{{Name: "L", Tuples: 1_000_000, Width: 32}},
+				Filters:   []float64{0.95},
+				GroupBy:   4,
+			},
+		},
+		{
+			Name:        "groupby-many",
+			Description: "aggregation into 200k groups (aggregate table larger than the caches)",
+			Query: Query{
+				Relations: []Relation{{Name: "L", Tuples: 1_000_000, Width: 32}},
+				GroupBy:   200_000,
+			},
+		},
+		{
+			Name:        "groupby-sorted-input",
+			Description: "aggregation over a key-ordered table (sort-based grouping needs no sort)",
+			Query: Query{
+				Relations: []Relation{{Name: "S", Tuples: 300_000, Width: 16, Sorted: true}},
+				GroupBy:   1_000,
+			},
+		},
+		{
+			Name:        "join2-fk",
+			Description: "foreign-key join of orders against a small customer dimension",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "O", Tuples: 150_000, Width: 32},
+					{Name: "C", Tuples: 15_000, Width: 32},
+				},
+				Joins: []JoinEdge{{Left: 0, Right: 1, Selectivity: 1.0 / 15_000}},
+			},
+		},
+		{
+			Name:        "join2-sorted",
+			Description: "equi-join of two key-ordered tables (merge join without sorting)",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "U", Tuples: 200_000, Width: 16, Sorted: true},
+					{Name: "V", Tuples: 100_000, Width: 16, Sorted: true},
+				},
+				Joins: []JoinEdge{{Left: 0, Right: 1, Selectivity: 1.0 / 200_000}},
+			},
+		},
+		{
+			Name:        "join2-large",
+			Description: "two 1M-row tables joined 1:1 (partitioning pays for itself)",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "U", Tuples: 1_000_000, Width: 32},
+					{Name: "V", Tuples: 1_000_000, Width: 32},
+				},
+				Joins: []JoinEdge{{Left: 0, Right: 1, Selectivity: 1.0 / 1_000_000}},
+			},
+		},
+		{
+			Name:        "join3-chain-q3",
+			Description: "TPC-H Q3 shape: customer ⋈ orders ⋈ lineitem with filters, top-group aggregate, ordered result",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "C", Tuples: 15_000, Width: 32},
+					{Name: "O", Tuples: 150_000, Width: 32},
+					{Name: "L", Tuples: 600_000, Width: 32},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 15_000},
+					{Left: 1, Right: 2, Selectivity: 1.0 / 150_000},
+				},
+				Filters: []float64{0.2, 0.5, 0},
+				GroupBy: 10_000,
+				SortBy:  true,
+			},
+		},
+		{
+			Name:        "join3-star",
+			Description: "star join: a 500k-row fact table against two small dimensions",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "F", Tuples: 500_000, Width: 32},
+					{Name: "D1", Tuples: 1_000, Width: 16},
+					{Name: "D2", Tuples: 5_000, Width: 16},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 1_000},
+					{Left: 0, Right: 2, Selectivity: 1.0 / 5_000},
+				},
+			},
+		},
+		{
+			Name:        "join4-chain",
+			Description: "four-relation chain join (join-order search over connected left-deep orders; partition fan-outs degenerate on the small end of the chain)",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "A", Tuples: 1_500, Width: 16},
+					{Name: "B", Tuples: 3_000, Width: 16},
+					{Name: "C", Tuples: 12_000, Width: 16},
+					{Name: "D", Tuples: 48_000, Width: 16},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 3_000},
+					{Left: 1, Right: 2, Selectivity: 1.0 / 12_000},
+					{Left: 2, Right: 3, Selectivity: 1.0 / 48_000},
+				},
+			},
+		},
+	}
+}
+
+// ScenarioNames returns the catalog's scenario names in catalog order.
+func ScenarioNames() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, s := range cat {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ScenarioByName looks a scenario up in the catalog.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

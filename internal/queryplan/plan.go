@@ -1,0 +1,256 @@
+package queryplan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/pattern"
+	"repro/internal/region"
+)
+
+// OpKind discriminates physical plan nodes.
+type OpKind int
+
+const (
+	// OpScan reads a base relation, applying the query's filter and
+	// projection for that relation (materializing the result if either
+	// narrows it).
+	OpScan OpKind = iota
+	// OpJoin joins its two children with Algorithm.
+	OpJoin
+	// OpAggregate groups its child into Groups result groups.
+	OpAggregate
+	// OpDistinct eliminates duplicates down to Groups rows.
+	OpDistinct
+	// OpSort sorts its child's output in place.
+	OpSort
+)
+
+// Plan is one physical plan: a tree of operators with algorithm choices
+// made and output estimates (cardinality, width, sortedness) filled in
+// by the enumerator. Plans share subtrees; nodes are immutable after
+// enumeration.
+type Plan struct {
+	Kind      OpKind
+	Algorithm Algorithm
+	// Fanout is the partition count of a partitioned hash join.
+	Fanout int64
+	// Rel is the base relation of an OpScan leaf.
+	Rel Relation
+	// Filter is the scan's selectivity (1 = none); Proj its bytes-used
+	// projection (0 = full width).
+	Filter float64
+	Proj   int64
+	// Groups is the target cardinality of OpAggregate / OpDistinct.
+	Groups int64
+	// Children are the operator inputs (two for OpJoin, one for
+	// OpAggregate / OpDistinct / OpSort, none for OpScan).
+	Children []*Plan
+	// Out is the operator's estimated output: the relation downstream
+	// operators consume.
+	Out Relation
+}
+
+// Signature renders the plan's physical shape as a compact,
+// deterministic string — the identity golden files and plan rankings
+// key on: join order and algorithms in infix form, unary operators as
+// prefixes.
+//
+//	sort(hashagg((σ(C) hj O) smj L))
+func (p *Plan) Signature() string {
+	var b strings.Builder
+	p.signature(&b)
+	return b.String()
+}
+
+func (p *Plan) signature(b *strings.Builder) {
+	switch p.Kind {
+	case OpScan:
+		if p.Filter < 1 || p.Proj > 0 {
+			b.WriteString("σ(")
+			b.WriteString(p.Rel.Name)
+			b.WriteString(")")
+		} else {
+			b.WriteString(p.Rel.Name)
+		}
+	case OpJoin:
+		b.WriteString("(")
+		p.Children[0].signature(b)
+		b.WriteString(" ")
+		b.WriteString(code(p.Algorithm, p.Fanout))
+		b.WriteString(" ")
+		p.Children[1].signature(b)
+		b.WriteString(")")
+	case OpAggregate:
+		if p.Algorithm == HashAggregate {
+			b.WriteString("hashagg(")
+		} else {
+			b.WriteString("sortagg(")
+		}
+		p.Children[0].signature(b)
+		b.WriteString(")")
+	case OpDistinct:
+		if p.Algorithm == HashDistinct {
+			b.WriteString("hashdistinct(")
+		} else {
+			b.WriteString("sortdistinct(")
+		}
+		p.Children[0].signature(b)
+		b.WriteString(")")
+	case OpSort:
+		b.WriteString("sort(")
+		p.Children[0].signature(b)
+		b.WriteString(")")
+	}
+}
+
+// Lower composes the plan into one compound pattern plus its estimated
+// CPU time: every operator contributes its Table-2 pattern (built by
+// internal/engine) over its input and output regions, and operators are
+// sequenced with ⊕ in execution order (full materialization), so
+// Eq. 5.2 threads cache state from each operator into the next. An
+// unfiltered scan contributes no pattern of its own unless it is the
+// whole plan — its consumer reads the base region directly.
+//
+// pruneBytes bounds quick-sort recursion exactly as in
+// engine.QuickSortPattern (callers pass the smallest cache capacity).
+func (p *Plan) Lower(cpu CPUCosts, pruneBytes int64) (pattern.Pattern, float64, error) {
+	l := lowerer{cpu: cpu, prune: pruneBytes}
+	out, err := l.lower(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(l.steps) == 0 {
+		// A bare unfiltered scan: the plan is the traversal itself.
+		l.steps = append(l.steps, engine.ScanPattern(out, 0))
+	}
+	if len(l.steps) == 1 {
+		return l.steps[0], l.cpuNS, nil
+	}
+	return pattern.Seq(l.steps), l.cpuNS, nil
+}
+
+// lowerer accumulates the ⊕ step list and CPU estimate of one plan.
+type lowerer struct {
+	cpu   CPUCosts
+	prune int64
+	steps []pattern.Pattern
+	cpuNS float64
+}
+
+// lower emits the steps of p's subtree and returns the region holding
+// p's (materialized) output.
+func (l *lowerer) lower(p *Plan) (*region.Region, error) {
+	switch p.Kind {
+	case OpScan:
+		base := p.Rel.Region()
+		if p.Filter >= 1 && p.Proj <= 0 {
+			return base, nil // consumed in place, no materialization
+		}
+		out := p.Out.Region()
+		l.steps = append(l.steps, engine.ProjectPattern(base, out, p.Proj))
+		l.cpuNS += l.cpu.Compare*float64(base.N) + l.cpu.Move*float64(out.N)
+		return out, nil
+
+	case OpJoin:
+		lr, err := l.lower(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		rr, err := l.lower(p.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		out := p.Out.Region()
+		nl, nr, no := float64(lr.N), float64(rr.N), float64(out.N)
+		switch p.Algorithm {
+		case NestedLoopJoin:
+			l.steps = append(l.steps, engine.NestedLoopJoinPattern(lr, rr, out))
+			l.cpuNS += l.cpu.Compare*nl*nr + l.cpu.Move*no
+		case MergeJoin:
+			l.steps = append(l.steps, engine.MergeJoinPattern(lr, rr, out))
+			l.cpuNS += l.cpu.Compare*(nl+nr) + l.cpu.Move*no
+		case SortMergeJoin:
+			if !p.Children[0].Out.Sorted {
+				l.steps = append(l.steps, engine.QuickSortPattern(lr, l.prune))
+				l.cpuNS += l.cpu.sortNS(nl)
+			}
+			if !p.Children[1].Out.Sorted {
+				l.steps = append(l.steps, engine.QuickSortPattern(rr, l.prune))
+				l.cpuNS += l.cpu.sortNS(nr)
+			}
+			l.steps = append(l.steps, engine.MergeJoinPattern(lr, rr, out))
+			l.cpuNS += l.cpu.Compare*(nl+nr) + l.cpu.Move*no
+		case HashJoin:
+			build, probe := rr, lr
+			if lr.N < rr.N {
+				build, probe = lr, rr
+			}
+			h := engine.HashRegionFor(out.Name+".h", build.N)
+			l.steps = append(l.steps, engine.HashJoinPattern(probe, build, h, out).(pattern.Seq)...)
+			l.cpuNS += l.cpu.Hash*(nl+nr) + l.cpu.Move*no
+		case PartitionedHashJoin:
+			l.steps = append(l.steps, engine.PartitionedHashJoinPattern(lr, rr, out, p.Fanout).(pattern.Seq)...)
+			l.cpuNS += l.cpu.Partition*(nl+nr) + l.cpu.Hash*(nl+nr) + l.cpu.Move*no
+		default:
+			return nil, fmt.Errorf("queryplan: unknown join algorithm %q", p.Algorithm)
+		}
+		return out, nil
+
+	case OpAggregate:
+		in, err := l.lower(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		n := float64(in.N)
+		if p.Algorithm == HashAggregate {
+			// The aggregation table is the materialized result.
+			agg := engine.AggRegionFor(p.Out.Name, p.Groups)
+			l.steps = append(l.steps, engine.HashAggregatePattern(in, agg))
+			l.cpuNS += l.cpu.Hash * n
+			return agg, nil
+		}
+		// Sort-based grouping: sort (unless already key-ordered), then
+		// one merged pass writing the group rows.
+		out := p.Out.Region()
+		if !p.Children[0].Out.Sorted {
+			l.steps = append(l.steps, engine.QuickSortPattern(in, l.prune))
+			l.cpuNS += l.cpu.sortNS(n)
+		}
+		l.steps = append(l.steps, pattern.Conc{pattern.STrav{R: in}, pattern.STrav{R: out}})
+		l.cpuNS += l.cpu.Compare * n
+		return out, nil
+
+	case OpDistinct:
+		in, err := l.lower(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		out := p.Out.Region()
+		n := float64(in.N)
+		if p.Algorithm == HashDistinct {
+			h := engine.HashRegionFor(out.Name+".h", in.N)
+			l.steps = append(l.steps, engine.HashDedupPattern(in, h, out))
+			l.cpuNS += l.cpu.Hash * n
+			return out, nil
+		}
+		if !p.Children[0].Out.Sorted {
+			l.steps = append(l.steps, engine.QuickSortPattern(in, l.prune))
+			l.cpuNS += l.cpu.sortNS(n)
+		}
+		l.steps = append(l.steps, pattern.Conc{pattern.STrav{R: in}, pattern.STrav{R: out}})
+		l.cpuNS += l.cpu.Compare * n
+		return out, nil
+
+	case OpSort:
+		in, err := l.lower(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		l.steps = append(l.steps, engine.QuickSortPattern(in, l.prune))
+		l.cpuNS += l.cpu.sortNS(float64(in.N))
+		return in, nil
+	}
+	return nil, fmt.Errorf("queryplan: unknown operator kind %d", p.Kind)
+}

@@ -21,8 +21,11 @@
 // pattern-tree node.
 //
 // On top of the model, NewPlanner exposes a miniature cost-based
-// optimizer (join/aggregate/distinct algorithm choice), and package
-// repro/pkg/costmodel/server serves batched evaluations over HTTP.
+// optimizer (join/aggregate/distinct algorithm choice, plus
+// whole-query planning via Planner.QueryCandidates — see package
+// repro/pkg/costmodel/scenario for the plan-level catalog and
+// PricePlan/BestPlan), and package repro/pkg/costmodel/server serves
+// batched evaluations and plan pricing over HTTP.
 // Package repro/pkg/costmodel/calibrate discovers an unknown machine's
 // hierarchy and registers it as a profile (the paper's Calibrator,
 // Section 7), and repro/pkg/costmodel/validate sweeps every operator

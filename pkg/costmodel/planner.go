@@ -6,6 +6,12 @@ import "repro/internal/planner"
 // the model — the consumer the paper designed the model for. Given
 // logical data volumes it enumerates candidate physical plans, costs
 // each one's access pattern, and ranks them cheapest first.
+//
+// Beyond single operators, Planner.QueryCandidates / QueryPlans /
+// BestQueryPlan rank whole query plans (join order plus an algorithm
+// choice per operator) for a logical query; package
+// repro/pkg/costmodel/scenario wraps those with a ready-made scenario
+// catalog.
 type (
 	// Planner costs candidate plans on one hardware profile.
 	Planner = planner.Planner

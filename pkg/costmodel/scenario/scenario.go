@@ -1,0 +1,93 @@
+// Package scenario prices whole query plans on the cost model: the
+// paper's compound-pattern algebra (Section 5) applied at plan
+// granularity rather than per operator.
+//
+// A Query describes the logical shape — relations, a join graph with
+// selectivities, optional filters/projections and an aggregate,
+// distinct or order-by on top. PricePlan enumerates its physical
+// alternatives (left-deep join orders, an algorithm choice per join,
+// hash- vs sort-based grouping), lowers each plan to one compound
+// access pattern (operators sequenced with ⊕ so cache state threads
+// between them, MonetDB-style full materialization), compiles it once
+// into the cost IR, and ranks the plans by predicted total time on a
+// hardware profile. BestPlan returns the winner.
+//
+// Catalog ships ready-made scenarios — single-operator baselines,
+// hash-vs-sort decisions, 2–4 relation join-order problems and TPC-H
+// Q1/Q3-shaped pipelines — whose expected plan choices and costs are
+// locked by the repository's golden-corpus regression harness (see
+// docs/scenarios.md). The same scenarios are served by `costmodel
+// scenarios` and by the HTTP endpoint POST /v1/plan.
+package scenario
+
+import (
+	"repro/internal/queryplan"
+	"repro/pkg/costmodel"
+)
+
+// Re-exported queryplan types: the logical query description.
+type (
+	// Query is a logical query: relations, join graph, filters, and an
+	// optional aggregate / distinct / order-by.
+	Query = queryplan.Query
+	// JoinEdge is one equi-join predicate with its selectivity.
+	JoinEdge = queryplan.JoinEdge
+	// Relation describes an input's logical properties (an alias of
+	// costmodel.Relation).
+	Relation = queryplan.Relation
+	// Scenario is one named catalog entry.
+	Scenario = queryplan.Scenario
+	// Plan is one physical plan tree (algorithm choices made).
+	Plan = queryplan.Plan
+	// Options parameterize enumeration (fan-outs, plan cap, CPU
+	// constants) for callers using Enumerate directly.
+	Options = queryplan.Options
+)
+
+// Catalog returns the built-in scenarios.
+func Catalog() []Scenario { return queryplan.Catalog() }
+
+// Names returns the catalog's scenario names in catalog order.
+func Names() []string { return queryplan.ScenarioNames() }
+
+// ByName looks a scenario up in the catalog.
+func ByName(name string) (Scenario, bool) { return queryplan.ScenarioByName(name) }
+
+// Enumerate expands a query into its physical plan trees without
+// costing them — the raw material for custom scoring loops.
+func Enumerate(q Query, opts Options) ([]*Plan, error) { return queryplan.Enumerate(q, opts) }
+
+// Candidates enumerates, lowers and compiles the physical plans of q
+// for the given hierarchy (whose smallest cache capacity prunes
+// quick-sort recursion), deduplicating cost-equivalent plans. The
+// result can be re-scored on any number of profiles with
+// costmodel.ScorePlans without re-compiling.
+func Candidates(h *costmodel.Hierarchy, q Query) ([]costmodel.Candidate, error) {
+	pl, err := costmodel.NewPlanner(h)
+	if err != nil {
+		return nil, err
+	}
+	return pl.QueryCandidates(q)
+}
+
+// PricePlan enumerates and prices every physical plan of q on the
+// hierarchy, returning the plans sorted cheapest first. Each returned
+// plan's Algorithm field carries the plan signature, e.g.
+//
+//	sort(hashagg((σ(C) hj σ(O)) hj L))
+func PricePlan(h *costmodel.Hierarchy, q Query) ([]costmodel.Plan, error) {
+	pl, err := costmodel.NewPlanner(h)
+	if err != nil {
+		return nil, err
+	}
+	return pl.QueryPlans(q)
+}
+
+// BestPlan returns the cheapest physical plan of q on the hierarchy.
+func BestPlan(h *costmodel.Hierarchy, q Query) (costmodel.Plan, error) {
+	pl, err := costmodel.NewPlanner(h)
+	if err != nil {
+		return costmodel.Plan{}, err
+	}
+	return pl.BestQueryPlan(q)
+}

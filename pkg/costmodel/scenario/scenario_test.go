@@ -1,0 +1,115 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"repro/pkg/costmodel"
+	"repro/pkg/costmodel/scenario"
+)
+
+func lightQuery() scenario.Query {
+	return scenario.Query{
+		Relations: []scenario.Relation{
+			{Name: "O", Tuples: 8_000, Width: 16},
+			{Name: "C", Tuples: 1_000, Width: 16},
+		},
+		Joins:  []scenario.JoinEdge{{Left: 0, Right: 1, Selectivity: 1.0 / 1_000}},
+		SortBy: true,
+	}
+}
+
+func TestCatalogSurface(t *testing.T) {
+	if len(scenario.Catalog()) < 12 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 12", len(scenario.Catalog()))
+	}
+	names := scenario.Names()
+	if len(names) != len(scenario.Catalog()) {
+		t.Fatalf("Names length %d != catalog length %d", len(names), len(scenario.Catalog()))
+	}
+	sc, ok := scenario.ByName(names[0])
+	if !ok || sc.Name != names[0] {
+		t.Fatalf("ByName(%q) = %v, %t", names[0], sc.Name, ok)
+	}
+}
+
+func TestBestPlanIsCheapest(t *testing.T) {
+	h, err := costmodel.Profile("small-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := lightQuery()
+	plans, err := scenario.PricePlan(h, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	best, err := scenario.BestPlan(h, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Algorithm != plans[0].Algorithm {
+		t.Errorf("BestPlan %s != PricePlan[0] %s", best.Algorithm, plans[0].Algorithm)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].TotalNS() < plans[0].TotalNS() {
+			t.Errorf("plan %s cheaper than the reported best", plans[i].Algorithm)
+		}
+	}
+}
+
+func TestCandidatesRescoreAcrossProfiles(t *testing.T) {
+	h, err := costmodel.Profile("small-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := scenario.Candidates(h, lightQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := costmodel.ScorePlans(h, cands)
+	if len(ranked) != len(cands) {
+		t.Fatalf("ScorePlans returned %d plans for %d candidates", len(ranked), len(cands))
+	}
+	direct, err := scenario.PricePlan(h, lightQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Algorithm != direct[0].Algorithm {
+		t.Errorf("ScorePlans winner %s != PricePlan winner %s", ranked[0].Algorithm, direct[0].Algorithm)
+	}
+
+	// Re-score the same compiled candidates on a different hierarchy.
+	h2, err := costmodel.Profile("origin2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked2 := costmodel.ScorePlans(h2, cands)
+	if len(ranked2) != len(cands) {
+		t.Fatalf("cross-profile ScorePlans returned %d plans", len(ranked2))
+	}
+}
+
+func TestEnumerateExposed(t *testing.T) {
+	plans, err := scenario.Enumerate(lightQuery(), scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans enumerated")
+	}
+	if plans[0].Signature() == "" {
+		t.Fatal("plan without signature")
+	}
+}
+
+func TestPricePlanInvalidQuery(t *testing.T) {
+	h, err := costmodel.Profile("small-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.PricePlan(h, scenario.Query{}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/pkg/costmodel"
+	"repro/pkg/costmodel/scenario"
+)
+
+// POST /v1/plan prices whole query plans: the request names either a
+// catalog scenario or an inline logical query, plus a hardware profile;
+// the response ranks the enumerated physical plans (join order +
+// algorithm choices) cheapest first. See docs/scenarios.md.
+
+// PlanRequest asks for a plan ranking on one profile.
+type PlanRequest struct {
+	// Profile names a registered hardware profile.
+	Profile string `json:"profile"`
+	// Scenario names a catalog scenario. Exactly one of Scenario and
+	// Query must be set.
+	Scenario string `json:"scenario,omitempty"`
+	// Query is an inline logical query.
+	Query *PlanQuery `json:"query,omitempty"`
+	// Top bounds the ranked plans echoed back; 0 means DefaultPlanTop,
+	// negative returns every plan.
+	Top int `json:"top,omitempty"`
+}
+
+// DefaultPlanTop is the ranking depth returned when PlanRequest.Top is 0.
+const DefaultPlanTop = 5
+
+// PlanQuery is the wire form of a logical query.
+type PlanQuery struct {
+	Relations []PlanRelation `json:"relations"`
+	Joins     []PlanJoin     `json:"joins,omitempty"`
+	// Filters holds one scan selectivity per relation in (0, 1]; 0
+	// means no filter.
+	Filters []float64 `json:"filters,omitempty"`
+	// Projections holds one bytes-used value per relation; 0 means the
+	// full width.
+	Projections []int64 `json:"projections,omitempty"`
+	GroupBy     int64   `json:"group_by,omitempty"`
+	Distinct    int64   `json:"distinct,omitempty"`
+	SortBy      bool    `json:"sort_by,omitempty"`
+}
+
+// PlanRelation declares one base relation.
+type PlanRelation struct {
+	Name   string `json:"name"`
+	Tuples int64  `json:"tuples"`
+	Width  int64  `json:"width"`
+	Sorted bool   `json:"sorted,omitempty"`
+}
+
+// PlanJoin is one join-graph edge (indices into the relation list).
+type PlanJoin struct {
+	Left        int     `json:"left"`
+	Right       int     `json:"right"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// RankedPlan is one priced physical plan.
+type RankedPlan struct {
+	// Plan is the plan signature (join order, algorithms, grouping).
+	Plan     string  `json:"plan"`
+	MemoryNS float64 `json:"memory_ns"`
+	CPUNS    float64 `json:"cpu_ns"`
+	TotalNS  float64 `json:"total_ns"`
+}
+
+// PlanResponse ranks a query's physical plans cheapest first.
+type PlanResponse struct {
+	Profile  string `json:"profile"`
+	Scenario string `json:"scenario,omitempty"`
+	// Plans is the number of distinct plans priced (the ranking below
+	// may be truncated to the requested top).
+	Plans   int          `json:"plans"`
+	Winner  RankedPlan   `json:"winner"`
+	Ranking []RankedPlan `json:"ranking"`
+	Error   string       `json:"error,omitempty"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req PlanRequest
+	if err := readJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res := s.Plan(req)
+	status := http.StatusOK
+	if res.Error != "" {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, res)
+}
+
+// Plan resolves and prices one plan request on the server's registry.
+// The enumeration runs on the server's bounded worker pool. Catalog
+// scenarios are fully deterministic per (profile, scenario, registry
+// version), so their complete rankings are memoized in the result
+// cache — the requested top is sliced per request after the cache —
+// and counted by the result-cache hit/miss counters.
+func (s *Server) Plan(req PlanRequest) *PlanResponse {
+	if req.Profile == "" {
+		return &PlanResponse{Error: "missing profile"}
+	}
+	res := &PlanResponse{Profile: req.Profile, Scenario: req.Scenario}
+	var q scenario.Query
+	var cacheKey string
+	switch {
+	case req.Scenario != "" && req.Query != nil:
+		res.Error = "set either scenario or query, not both"
+		return res
+	case req.Scenario != "":
+		sc, ok := scenario.ByName(req.Scenario)
+		if !ok {
+			res.Error = fmt.Sprintf("unknown scenario %q (have: %v)", req.Scenario, scenario.Names())
+			return res
+		}
+		q = sc.Query
+		cacheKey = fmt.Sprintf("plan|v%d|%q|%s", s.reg.Version(), req.Profile, req.Scenario)
+	case req.Query != nil:
+		q = queryFromWire(req.Query)
+	default:
+		res.Error = "missing scenario or query"
+		return res
+	}
+
+	var ranking []RankedPlan
+	if cacheKey != "" && s.cache != nil {
+		if hit, ok := s.cache.get(cacheKey); ok {
+			s.resultHits.Add(1)
+			ranking = hit.([]RankedPlan)
+		}
+	}
+	if ranking == nil {
+		if cacheKey != "" && s.cache != nil {
+			s.resultMisses.Add(1)
+		}
+		h, err := s.reg.Profile(req.Profile)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		s.sem <- struct{}{}
+		plans, err := scenario.PricePlan(h, q)
+		<-s.sem
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		ranking = make([]RankedPlan, len(plans))
+		for i, p := range plans {
+			ranking[i] = rankedPlan(p)
+		}
+		if cacheKey != "" && s.cache != nil {
+			// The slice is never mutated after this point (responses
+			// copy out of it), so one entry serves every request.
+			s.cache.put(cacheKey, ranking)
+		}
+	}
+
+	if len(ranking) == 0 {
+		res.Error = "no plans enumerated"
+		return res
+	}
+	res.Plans = len(ranking)
+	top := req.Top
+	if top == 0 {
+		top = DefaultPlanTop
+	}
+	if top < 0 || top > len(ranking) {
+		top = len(ranking)
+	}
+	res.Ranking = append([]RankedPlan(nil), ranking[:top]...)
+	res.Winner = ranking[0]
+	return res
+}
+
+func rankedPlan(p costmodel.Plan) RankedPlan {
+	return RankedPlan{
+		Plan:     string(p.Algorithm),
+		MemoryNS: p.MemNS,
+		CPUNS:    p.CPUNS,
+		TotalNS:  p.TotalNS(),
+	}
+}
+
+func queryFromWire(pq *PlanQuery) scenario.Query {
+	q := scenario.Query{
+		Filters:     pq.Filters,
+		Projections: pq.Projections,
+		GroupBy:     pq.GroupBy,
+		Distinct:    pq.Distinct,
+		SortBy:      pq.SortBy,
+	}
+	for _, r := range pq.Relations {
+		q.Relations = append(q.Relations, scenario.Relation{
+			Name: r.Name, Tuples: r.Tuples, Width: r.Width, Sorted: r.Sorted,
+		})
+	}
+	for _, j := range pq.Joins {
+		q.Joins = append(q.Joins, scenario.JoinEdge{
+			Left: j.Left, Right: j.Right, Selectivity: j.Selectivity,
+		})
+	}
+	return q
+}

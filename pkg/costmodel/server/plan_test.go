@@ -1,0 +1,191 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/pkg/costmodel/scenario"
+	"repro/pkg/costmodel/server"
+)
+
+// goldenWinner mirrors the fields plan parity needs from the
+// golden-corpus files in internal/queryplan/testdata/golden.
+type goldenCorpusFile struct {
+	Scenario string `json:"scenario"`
+	Profile  string `json:"profile"`
+	Plans    int    `json:"plans"`
+	Winner   struct {
+		Plan    string  `json:"plan"`
+		TotalNS float64 `json:"total_ns"`
+	} `json:"winner"`
+}
+
+// TestPlanMatchesGoldenCorpus prices every catalog scenario through
+// Server.Plan and checks the winning plan against the committed golden
+// corpus — the same corpus TestGolden locks against BestPlan — so the
+// HTTP surface, the public scenario package and the planner agree on
+// every catalog entry.
+func TestPlanMatchesGoldenCorpus(t *testing.T) {
+	const profile = "origin2000"
+	s := server.New(server.Config{})
+	for _, sc := range scenario.Catalog() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			buf, err := os.ReadFile(filepath.Join("..", "..", "..", "internal", "queryplan",
+				"testdata", "golden", sc.Name+"."+profile+".json"))
+			if err != nil {
+				t.Fatalf("missing golden file for %s (regenerate with go test ./internal/queryplan -run TestGolden -update): %v", sc.Name, err)
+			}
+			var want goldenCorpusFile
+			if err := json.Unmarshal(buf, &want); err != nil {
+				t.Fatal(err)
+			}
+			res := s.Plan(server.PlanRequest{Profile: profile, Scenario: sc.Name})
+			if res.Error != "" {
+				t.Fatalf("Plan(%s): %s", sc.Name, res.Error)
+			}
+			if res.Winner.Plan != want.Winner.Plan {
+				t.Errorf("winning plan diverged from BestPlan's golden corpus:\n  corpus: %s\n  server: %s",
+					want.Winner.Plan, res.Winner.Plan)
+			}
+			if res.Plans != want.Plans {
+				t.Errorf("plan count %d != corpus %d", res.Plans, want.Plans)
+			}
+			rel := res.Winner.TotalNS - want.Winner.TotalNS
+			if rel < 0 {
+				rel = -rel
+			}
+			if want.Winner.TotalNS != 0 && rel/want.Winner.TotalNS > 1e-9 {
+				t.Errorf("winner total %g != corpus %g", res.Winner.TotalNS, want.Winner.TotalNS)
+			}
+			if len(res.Ranking) == 0 || res.Ranking[0].Plan != res.Winner.Plan {
+				t.Errorf("ranking[0] %v does not echo the winner %s", res.Ranking, res.Winner.Plan)
+			}
+		})
+	}
+}
+
+// TestPlanHTTPRoundTrip exercises the full HTTP surface for one
+// scenario and one inline query.
+func TestPlanHTTPRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/plan", server.PlanRequest{
+		Profile: "small-test", Scenario: "join2-fk", Top: 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scenario request: status %d: %s", resp.StatusCode, body)
+	}
+	var pr server.PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Winner.Plan == "" || len(pr.Ranking) != 3 || pr.Plans < 3 {
+		t.Fatalf("unexpected response: %+v", pr)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/plan", server.PlanRequest{
+		Profile: "small-test",
+		Query: &server.PlanQuery{
+			Relations: []server.PlanRelation{
+				{Name: "U", Tuples: 8_000, Width: 16},
+				{Name: "V", Tuples: 1_000, Width: 16},
+			},
+			Joins:   []server.PlanJoin{{Left: 0, Right: 1, Selectivity: 0.001}},
+			GroupBy: 10,
+		},
+		Top: -1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline query: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Plans == 0 || len(pr.Ranking) != pr.Plans {
+		t.Fatalf("Top=-1 should return every plan: %+v", pr)
+	}
+	if !strings.Contains(pr.Winner.Plan, "agg(") {
+		t.Errorf("group-by query's winner %q has no aggregate", pr.Winner.Plan)
+	}
+}
+
+// TestPlanScenarioMemoized checks that a repeated (profile, scenario)
+// request is served from the result cache with an identical ranking.
+func TestPlanScenarioMemoized(t *testing.T) {
+	s := server.New(server.Config{})
+	req := server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1}
+	first := s.Plan(req)
+	if first.Error != "" {
+		t.Fatal(first.Error)
+	}
+	misses := s.ResultCacheStats().Misses
+	second := s.Plan(req)
+	if second.Error != "" {
+		t.Fatal(second.Error)
+	}
+	st := s.ResultCacheStats()
+	if st.Hits == 0 {
+		t.Error("repeated scenario request did not hit the result cache")
+	}
+	if st.Misses != misses {
+		t.Errorf("repeated scenario request recounted a miss (%d -> %d)", misses, st.Misses)
+	}
+	if len(first.Ranking) != len(second.Ranking) || first.Winner != second.Winner {
+		t.Errorf("cached response diverged: %+v vs %+v", first.Winner, second.Winner)
+	}
+	// A different top on the cached entry slices without recomputing.
+	third := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: 1})
+	if len(third.Ranking) != 1 || third.Winner != first.Winner || third.Plans != first.Plans {
+		t.Errorf("sliced cached response wrong: %+v", third)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	cases := []struct {
+		name string
+		req  server.PlanRequest
+		want string
+	}{
+		{"missing profile", server.PlanRequest{Scenario: "join2-fk"}, "missing profile"},
+		{"unknown profile", server.PlanRequest{Profile: "vax-11", Scenario: "join2-fk"}, "unknown profile"},
+		{"unknown scenario", server.PlanRequest{Profile: "small-test", Scenario: "nope"}, "unknown scenario"},
+		{"neither", server.PlanRequest{Profile: "small-test"}, "missing scenario or query"},
+		{"both", server.PlanRequest{Profile: "small-test", Scenario: "join2-fk",
+			Query: &server.PlanQuery{}}, "not both"},
+		{"invalid query", server.PlanRequest{Profile: "small-test",
+			Query: &server.PlanQuery{Relations: []server.PlanRelation{{Name: "U", Tuples: 10, Width: 16},
+				{Name: "V", Tuples: 10, Width: 16}}}}, "does not connect"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/plan", tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+			var pr server.PlanResponse
+			if err := json.Unmarshal(body, &pr); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(pr.Error, tc.want) {
+				t.Errorf("error %q does not mention %q", pr.Error, tc.want)
+			}
+		})
+	}
+
+	// GET is not allowed.
+	resp, err := http.Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/plan: status %d, want 405", resp.StatusCode)
+	}
+}

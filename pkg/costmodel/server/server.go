@@ -5,6 +5,9 @@
 //
 //	POST /v1/evaluate   evaluate one request, or a {"requests": [...]}
 //	                    batch fanned out across a bounded worker pool
+//	POST /v1/plan       price whole query plans: rank join orders and
+//	                    algorithm choices for a catalog scenario or an
+//	                    inline logical query (see plan.go)
 //	GET  /v1/profiles   list the registered hardware profiles
 //	POST /v1/calibrate  start an async hardware self-calibration job;
 //	                    GET ?id= polls it (see calibrate.go)
@@ -58,6 +61,12 @@ const DefaultCacheSize = 4096
 // serves every hardware profile a pattern is evaluated on.
 const DefaultCompileCacheSize = 1024
 
+// MaxBatchRequests bounds the number of evaluations in one batch
+// request. A batch beyond the bound is rejected outright (never
+// silently truncated): one request must not monopolize the worker pool
+// for an unbounded stretch.
+const MaxBatchRequests = 4096
+
 // Server evaluates cost-model requests over HTTP.
 type Server struct {
 	reg   *costmodel.Registry
@@ -70,6 +79,8 @@ type Server struct {
 	compileCache  *lruCache
 	compileHits   atomic.Uint64
 	compileMisses atomic.Uint64
+	resultHits    atomic.Uint64
+	resultMisses  atomic.Uint64
 	calib         *calibJobs
 	// validating single-flights GET /v1/validate: one sweep already
 	// saturates its own worker pool, so concurrent sweeps would only
@@ -123,6 +134,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/profiles", s.handleProfiles)
 	mux.HandleFunc("/v1/calibrate", s.handleCalibrate)
 	mux.HandleFunc("/v1/validate", s.handleValidate)
@@ -213,6 +225,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// single EvalRequest.
 	var batch BatchRequest
 	if err := json.Unmarshal(body, &batch); err == nil && batch.Requests != nil {
+		if len(batch.Requests) > MaxBatchRequests {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch of %d requests exceeds the maximum of %d", len(batch.Requests), MaxBatchRequests))
+			return
+		}
 		resp := BatchResponse{Results: s.EvaluateBatch(batch.Requests)}
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -312,9 +329,13 @@ func (s *Server) Evaluate(req EvalRequest) *EvalResult {
 		if hit, ok := s.cache.get(key); ok {
 			res, cached = hit.(*EvalResult).clone(), true
 			res.Pattern = p.String()
+			s.resultHits.Add(1)
 		}
 	}
 	if res == nil {
+		if s.cache != nil {
+			s.resultMisses.Add(1)
+		}
 		prog, err := s.compile(canon, p)
 		if err != nil {
 			return &EvalResult{Profile: req.Profile, Pattern: p.String(), Error: err.Error()}
@@ -449,6 +470,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	cc := s.CompileCacheStats()
+	rc := s.ResultCacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"profiles": len(s.reg.Names()),
@@ -457,6 +479,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"hits":    cc.Hits,
 			"misses":  cc.Misses,
 			"entries": cc.Entries,
+		},
+		"result_cache": map[string]any{
+			"hits":    rc.Hits,
+			"misses":  rc.Misses,
+			"entries": rc.Entries,
 		},
 	})
 }
@@ -486,6 +513,28 @@ func (s *Server) CompileCacheStats() CompileCacheStats {
 	}
 	if s.compileCache != nil {
 		st.Entries = s.compileCache.len()
+	}
+	return st
+}
+
+// ResultCacheStats reports the result cache's cumulative hit/miss
+// counters and current entry count (also exposed on /healthz). Hits
+// count any request answered from a memoized result — including a
+// differently spelled but canonically equivalent pattern.
+type ResultCacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// ResultCacheStats returns the result cache counters.
+func (s *Server) ResultCacheStats() ResultCacheStats {
+	st := ResultCacheStats{
+		Hits:   s.resultHits.Load(),
+		Misses: s.resultMisses.Load(),
+	}
+	if s.cache != nil {
+		st.Entries = s.cache.len()
 	}
 	return st
 }
