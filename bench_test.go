@@ -20,6 +20,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hardware"
 	"repro/internal/pattern"
+	"repro/internal/planner"
+	"repro/internal/queryplan"
 	"repro/internal/region"
 	"repro/internal/vmem"
 	"repro/internal/workload"
@@ -293,6 +295,50 @@ func BenchmarkEvaluate(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = prog.Evaluate(h, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanSearch is the plan-space-search headline benchmark: the
+// exhaustive left-deep enumerator against the two-phase DP search
+// (both through planner.QueryPlansSearch, i.e. including lowering,
+// compilation and the exact phase-2 re-cost). The 4-relation chain is
+// the largest scenario the exhaustive oracle handles comfortably — the
+// DP search must beat it there — while the 7- and 8-relation scenarios
+// are DP-only (the exhaustive path would trip the MaxPlans cap). CI
+// parses this benchmark into BENCH_plan.json via cmd/benchjson
+// -checkplan.
+func BenchmarkPlanSearch(b *testing.B) {
+	pl, err := planner.New(hardware.Origin2000())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		mode     string
+		scenario string
+		so       planner.SearchOptions
+	}{
+		{"exhaustive", "join4-chain", planner.SearchOptions{Strategy: planner.SearchExhaustive}},
+		{"dp", "join4-chain", planner.SearchOptions{}},
+		{"dp", "join7-star", planner.SearchOptions{}},
+		{"dp", "join8-chain", planner.SearchOptions{}},
+	}
+	for _, tc := range cases {
+		sc, ok := queryplan.ScenarioByName(tc.scenario)
+		if !ok {
+			b.Fatalf("unknown scenario %s", tc.scenario)
+		}
+		b.Run(tc.mode+"/"+tc.scenario, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plans, err := pl.QueryPlansSearch(sc.Query, tc.so)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(plans) == 0 {
+					b.Fatal("no plans")
+				}
 			}
 		})
 	}

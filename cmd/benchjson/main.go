@@ -1,20 +1,26 @@
 // Command benchjson converts `go test -bench -benchmem` output on
-// stdin into the BENCH_eval.json schema on stdout: one record per
-// benchmark (ns/op, B/op, allocs/op) plus a speedup section pairing
-// each Evaluate/tree/<pattern> with its Evaluate/ir/<pattern>
-// counterpart. CI runs it after the bench smoke job and uploads the
-// result as an artifact; the first snapshot is committed at the repo
-// root.
+// stdin into the BENCH_eval.json / BENCH_plan.json schema on stdout:
+// one record per benchmark (ns/op, B/op, allocs/op) plus speedup
+// sections — each Evaluate/tree/<pattern> paired with its
+// Evaluate/ir/<pattern> counterpart, and each
+// PlanSearch/exhaustive/<scenario> paired with its
+// PlanSearch/dp/<scenario> counterpart. CI runs it after the bench
+// smoke jobs and uploads the results as artifacts; the first snapshots
+// are committed at the repo root.
 //
 //	go test -run '^$' -bench 'BenchmarkEvaluate' -benchmem . | go run ./cmd/benchjson > BENCH_eval.json
+//	go test -run '^$' -bench 'BenchmarkPlanSearch' -benchmem . | go run ./cmd/benchjson > BENCH_plan.json
 //
 // With -check, the acceptance bar of the cost IR is enforced: every
 // /ir/ benchmark must report 0 allocs/op, and the hash-join pattern —
 // the representative compound pattern — must show at least a 5x
 // speedup over the tree walker (the committed snapshot records ~10x,
-// leaving headroom for noisy CI runners). Violations exit non-zero so
-// the bench-smoke job fails instead of silently uploading a
-// regression.
+// leaving headroom for noisy CI runners). With -checkplan, the plan
+// search's bar is enforced instead: the DP search must beat the
+// exhaustive enumerator's wall clock on the 4-relation chain, and the
+// DP-only 7/8-relation scenarios must be present. Violations exit
+// non-zero so the bench-smoke job fails instead of silently uploading
+// a regression.
 package main
 
 import (
@@ -32,6 +38,13 @@ const (
 	checkPattern    = "hashjoin"
 	checkMinSpeedup = 5.0
 )
+
+// Acceptance requirements enforced by -checkplan: the scenario where DP
+// must beat the exhaustive enumerator, and the DP-only scenarios that
+// must at least be present.
+const checkPlanScenario = "join4-chain"
+
+var checkPlanDPOnly = []string{"join7-star", "join8-chain"}
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -51,18 +64,32 @@ type Speedup struct {
 	IRAllocsPerOp float64 `json:"ir_allocs_per_op"`
 }
 
-// Report is the BENCH_eval.json schema.
+// PlanSpeedup pairs the exhaustive enumerator and the DP search on one
+// scenario. ExhaustiveNsPerOp is 0 for DP-only scenarios (the
+// exhaustive path cannot run them), and Speedup is then omitted.
+type PlanSpeedup struct {
+	Scenario          string  `json:"scenario"`
+	ExhaustiveNsPerOp float64 `json:"exhaustive_ns_per_op,omitempty"`
+	DPNsPerOp         float64 `json:"dp_ns_per_op"`
+	Speedup           float64 `json:"speedup,omitempty"`
+}
+
+// Report is the BENCH_eval.json / BENCH_plan.json schema.
 type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	Speedups   []Speedup   `json:"speedups,omitempty"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []Benchmark   `json:"benchmarks"`
+	Speedups   []Speedup     `json:"speedups,omitempty"`
+	PlanSearch []PlanSpeedup `json:"plan_speedups,omitempty"`
 }
 
 func main() {
 	check := flag.Bool("check", false,
 		"fail unless every /ir/ benchmark has 0 allocs/op and the "+checkPattern+" speedup is ≥ 5x")
+	checkPlan := flag.Bool("checkplan", false,
+		"fail unless the DP search beats the exhaustive enumerator on "+checkPlanScenario+
+			" and the DP-only scenarios are present")
 	flag.Parse()
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -77,6 +104,12 @@ func main() {
 	}
 	if *check {
 		if err := rep.checkAcceptance(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *checkPlan {
+		if err := rep.checkPlanAcceptance(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -101,6 +134,30 @@ func (rep *Report) checkAcceptance() error {
 		}
 	}
 	return fmt.Errorf("no %s tree/ir pair in the benchmark output", checkPattern)
+}
+
+// checkPlanAcceptance enforces the plan-search acceptance bar: DP
+// strictly faster than exhaustive on the reference chain, DP-only
+// scenarios measured.
+func (rep *Report) checkPlanAcceptance() error {
+	byScenario := map[string]PlanSpeedup{}
+	for _, s := range rep.PlanSearch {
+		byScenario[s.Scenario] = s
+	}
+	ref, ok := byScenario[checkPlanScenario]
+	if !ok || ref.ExhaustiveNsPerOp <= 0 {
+		return fmt.Errorf("no exhaustive/dp pair for %s in the benchmark output", checkPlanScenario)
+	}
+	if ref.Speedup <= 1 {
+		return fmt.Errorf("DP search is not faster than the exhaustive enumerator on %s (%.2fx)",
+			checkPlanScenario, ref.Speedup)
+	}
+	for _, name := range checkPlanDPOnly {
+		if s, ok := byScenario[name]; !ok || s.DPNsPerOp <= 0 {
+			return fmt.Errorf("DP-only scenario %s missing from the benchmark output", name)
+		}
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {
@@ -129,6 +186,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
 	rep.Speedups = speedups(rep.Benchmarks)
+	rep.PlanSearch = planSpeedups(rep.Benchmarks)
 	return rep, nil
 }
 
@@ -197,6 +255,45 @@ func speedups(benches []Benchmark) []Speedup {
 			Speedup:       tb.NsPerOp / irb.NsPerOp,
 			IRAllocsPerOp: irb.AllocsPerOp,
 		})
+	}
+	return out
+}
+
+// planSpeedups pairs <prefix>/exhaustive/<scenario> with
+// <prefix>/dp/<scenario>, keeping DP-only scenarios as unpaired
+// entries.
+func planSpeedups(benches []Benchmark) []PlanSpeedup {
+	exhaustive := map[string]Benchmark{}
+	dp := map[string]Benchmark{}
+	var order []string
+	suffix := func(name, sep string) (string, bool) {
+		i := strings.Index(name, sep)
+		if i < 0 {
+			return "", false
+		}
+		return name[i+len(sep):], true
+	}
+	for _, b := range benches {
+		if key, ok := suffix(b.Name, "/exhaustive/"); ok {
+			exhaustive[key] = b
+		}
+		if key, ok := suffix(b.Name, "/dp/"); ok {
+			dp[key] = b
+			order = append(order, key)
+		}
+	}
+	var out []PlanSpeedup
+	for _, key := range order {
+		db := dp[key]
+		if db.NsPerOp <= 0 {
+			continue
+		}
+		s := PlanSpeedup{Scenario: key, DPNsPerOp: db.NsPerOp}
+		if eb, ok := exhaustive[key]; ok && eb.NsPerOp > 0 {
+			s.ExhaustiveNsPerOp = eb.NsPerOp
+			s.Speedup = eb.NsPerOp / db.NsPerOp
+		}
+		out = append(out, s)
 	}
 	return out
 }

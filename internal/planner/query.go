@@ -15,22 +15,52 @@ import (
 // once into the cost IR. The resulting Candidates re-score across
 // hardware profiles through the same ScoreOn every single-operator
 // candidate uses; Candidate.Algorithm carries the plan signature.
+//
+// The search layer is the two-phase DP optimizer (see
+// internal/queryplan/dp.go and docs/optimizer.md): phase 1 prunes the
+// plan space with memoized, context-free subplan bounds; the exact
+// lowering + IR evaluation here is phase 2, so the surviving plans are
+// ranked bit-compatibly with the paper's algebra. SearchOptions select
+// the DP search (default) or the exhaustive left-deep oracle.
 
-// QueryCandidates enumerates the physical plans of a logical query
-// (left-deep join orders over the query's join graph, per-join and
-// per-grouping algorithm choices), lowers each to its compound access
-// pattern, and compiles it exactly once. Quick-sort patterns are pruned
-// at the planner's smallest cache capacity.
+// SearchOptions tune the plan-space search (strategy, memo top-k,
+// bushy on/off); the zero value is the DP search with defaults.
+type SearchOptions = queryplan.SearchOptions
+
+// SearchStrategy selects the plan-space search engine.
+type SearchStrategy = queryplan.SearchStrategy
+
+// The search strategies.
+const (
+	SearchDP         = queryplan.SearchDP
+	SearchExhaustive = queryplan.SearchExhaustive
+)
+
+// QueryCandidates enumerates the physical plans of a logical query with
+// the default search (DP, bushy, DefaultTopK), lowers each to its
+// compound access pattern, and compiles it exactly once.
+func (pl *Planner) QueryCandidates(q queryplan.Query) ([]Candidate, error) {
+	return pl.QueryCandidatesSearch(q, SearchOptions{})
+}
+
+// QueryCandidatesSearch enumerates the physical plans of a logical
+// query with the given search options (DP over connected subgraphs by
+// default, or the exhaustive left-deep oracle), lowers each surviving
+// plan to its compound access pattern, and compiles it exactly once.
+// Quick-sort patterns are pruned at the planner's smallest cache
+// capacity; the DP search prices its context-free subplan bounds on the
+// planner's own hierarchy.
 //
 // Cost-equivalent plans collapse: two plans whose patterns share a
 // canonical form and whose CPU estimates agree — e.g. the two build
 // sides of a symmetric hash join — are priced identically on every
 // hierarchy, so only the first enumerated signature is kept.
-func (pl *Planner) QueryCandidates(q queryplan.Query) ([]Candidate, error) {
-	plans, err := queryplan.Enumerate(q, queryplan.Options{
+func (pl *Planner) QueryCandidatesSearch(q queryplan.Query, so SearchOptions) ([]Candidate, error) {
+	plans, err := queryplan.Search(q, queryplan.Options{
 		CPU:        pl.cpu,
 		PruneBytes: pl.minCapacity(),
-	})
+		Search:     so,
+	}, pl.hier)
 	if err != nil {
 		return nil, err
 	}
@@ -59,11 +89,19 @@ func (pl *Planner) QueryCandidates(q queryplan.Query) ([]Candidate, error) {
 	return cands, nil
 }
 
-// QueryPlans enumerates and costs the physical plans of q on the
-// planner's own hierarchy, sorted cheapest first. Plan.Algorithm holds
-// the plan signature (join order, join algorithms, grouping variant).
+// QueryPlans enumerates (default search) and costs the physical plans
+// of q on the planner's own hierarchy, sorted cheapest first.
+// Plan.Algorithm holds the plan signature (join order, join algorithms,
+// grouping variant).
 func (pl *Planner) QueryPlans(q queryplan.Query) ([]Plan, error) {
-	cands, err := pl.QueryCandidates(q)
+	return pl.QueryPlansSearch(q, SearchOptions{})
+}
+
+// QueryPlansSearch enumerates with the given search options and costs
+// the surviving plans on the planner's own hierarchy, sorted cheapest
+// first — the exact phase-2 re-cost of the DP optimizer.
+func (pl *Planner) QueryPlansSearch(q queryplan.Query, so SearchOptions) ([]Plan, error) {
+	cands, err := pl.QueryCandidatesSearch(q, so)
 	if err != nil {
 		return nil, err
 	}
@@ -71,9 +109,15 @@ func (pl *Planner) QueryPlans(q queryplan.Query) ([]Plan, error) {
 }
 
 // BestQueryPlan returns the cheapest plan for q on the planner's
-// hierarchy.
+// hierarchy under the default search.
 func (pl *Planner) BestQueryPlan(q queryplan.Query) (Plan, error) {
-	plans, err := pl.QueryPlans(q)
+	return pl.BestQueryPlanSearch(q, SearchOptions{})
+}
+
+// BestQueryPlanSearch returns the cheapest plan for q on the planner's
+// hierarchy under the given search options.
+func (pl *Planner) BestQueryPlanSearch(q queryplan.Query, so SearchOptions) (Plan, error) {
+	plans, err := pl.QueryPlansSearch(q, so)
 	if err != nil {
 		return Plan{}, err
 	}

@@ -24,7 +24,9 @@ func TestQueryCandidatesDedupe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands, err := pl.QueryCandidates(testQuery())
+	// The exhaustive oracle enumerates the complete plan space, so the
+	// expected duplicate pairs are guaranteed to be present.
+	cands, err := pl.QueryCandidatesSearch(testQuery(), SearchOptions{Strategy: SearchExhaustive})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,5 +107,34 @@ func TestQueryCandidatesInvalidQuery(t *testing.T) {
 	}
 	if _, err := pl.QueryCandidates(queryplan.Query{}); err == nil {
 		t.Fatal("invalid query accepted")
+	}
+	if _, err := pl.QueryCandidatesSearch(testQuery(), SearchOptions{Strategy: "anneal"}); err == nil {
+		t.Fatal("invalid search strategy accepted")
+	}
+}
+
+// TestQuerySearchStrategiesAgreeOnWinner checks the two engines through
+// the planner surface on a small query: the DP default prunes, but its
+// winner must be drawn from (and here equal to) the exhaustive space's
+// winner, and both must flow through the same exact phase-2 scoring.
+func TestQuerySearchStrategiesAgreeOnWinner(t *testing.T) {
+	pl, err := New(hardware.SmallTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQuery()
+	ex, err := pl.BestQueryPlanSearch(q, SearchOptions{Strategy: SearchExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := pl.BestQueryPlanSearch(q, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Algorithm != ex.Algorithm {
+		t.Errorf("DP winner %s != exhaustive winner %s", dp.Algorithm, ex.Algorithm)
+	}
+	if dp.TotalNS() != ex.TotalNS() {
+		t.Errorf("winner cost diverged: dp %g, exhaustive %g", dp.TotalNS(), ex.TotalNS())
 	}
 }

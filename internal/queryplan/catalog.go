@@ -12,9 +12,11 @@ type Scenario struct {
 }
 
 // Catalog returns the built-in scenarios: single-operator shapes, hash-
-// vs sort-alternative decisions, 2–4 relation join-order problems, and
-// TPC-H Q1/Q3-shaped analytical pipelines. Every scenario's join graph
-// is connected and enumerates to at most a few thousand plans.
+// vs sort-alternative decisions, 2–4 relation join-order problems,
+// TPC-H Q1/Q3-shaped analytical pipelines, and — reachable only by the
+// DP search — a 7-relation snowflake star, an 8-relation chain, a
+// cyclic join graph and a bushy-favouring two-island query. Every
+// scenario's join graph is connected.
 func Catalog() []Scenario {
 	return []Scenario{
 		{
@@ -162,6 +164,95 @@ func Catalog() []Scenario {
 					{Left: 0, Right: 1, Selectivity: 1.0 / 3_000},
 					{Left: 1, Right: 2, Selectivity: 1.0 / 12_000},
 					{Left: 2, Right: 3, Selectivity: 1.0 / 48_000},
+				},
+			},
+		},
+		{
+			Name:        "join7-star",
+			Description: "snowflake: a 400k-row fact table against four dimensions, two of them with their own sub-dimension (7 relations — DP search only)",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "F", Tuples: 400_000, Width: 32},
+					{Name: "D1", Tuples: 20_000, Width: 16},
+					{Name: "D2", Tuples: 5_000, Width: 16},
+					{Name: "D3", Tuples: 2_000, Width: 16},
+					{Name: "D4", Tuples: 500, Width: 16},
+					{Name: "S1", Tuples: 400, Width: 16},
+					{Name: "S2", Tuples: 100, Width: 16},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 20_000},
+					{Left: 0, Right: 2, Selectivity: 1.0 / 5_000},
+					{Left: 0, Right: 3, Selectivity: 1.0 / 2_000},
+					{Left: 0, Right: 4, Selectivity: 1.0 / 500},
+					{Left: 1, Right: 5, Selectivity: 1.0 / 400},
+					{Left: 2, Right: 6, Selectivity: 1.0 / 100},
+				},
+			},
+		},
+		{
+			Name:        "join8-chain",
+			Description: "eight-relation chain join, sizes doubling along the chain (8 relations — DP search only)",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "R1", Tuples: 1_000, Width: 16},
+					{Name: "R2", Tuples: 2_000, Width: 16},
+					{Name: "R3", Tuples: 4_000, Width: 16},
+					{Name: "R4", Tuples: 8_000, Width: 16},
+					{Name: "R5", Tuples: 16_000, Width: 16},
+					{Name: "R6", Tuples: 32_000, Width: 16},
+					{Name: "R7", Tuples: 64_000, Width: 16},
+					{Name: "R8", Tuples: 128_000, Width: 16},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 2_000},
+					{Left: 1, Right: 2, Selectivity: 1.0 / 4_000},
+					{Left: 2, Right: 3, Selectivity: 1.0 / 8_000},
+					{Left: 3, Right: 4, Selectivity: 1.0 / 16_000},
+					{Left: 4, Right: 5, Selectivity: 1.0 / 32_000},
+					{Left: 5, Right: 6, Selectivity: 1.0 / 64_000},
+					{Left: 6, Right: 7, Selectivity: 1.0 / 128_000},
+				},
+			},
+		},
+		{
+			Name:        "join5-cycle",
+			Description: "five-relation cyclic join graph (the closing edge tightens every full plan's cardinality)",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "A", Tuples: 2_000, Width: 16},
+					{Name: "B", Tuples: 4_000, Width: 16},
+					{Name: "C", Tuples: 8_000, Width: 16},
+					{Name: "D", Tuples: 16_000, Width: 16},
+					{Name: "E", Tuples: 32_000, Width: 16},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 4_000},
+					{Left: 1, Right: 2, Selectivity: 1.0 / 8_000},
+					{Left: 2, Right: 3, Selectivity: 1.0 / 16_000},
+					{Left: 3, Right: 4, Selectivity: 1.0 / 32_000},
+					{Left: 0, Right: 4, Selectivity: 1.0 / 32_000},
+				},
+			},
+		},
+		{
+			Name:        "join6-islands",
+			Description: "two selective three-relation islands bridged by one loose edge — the shape where a bushy plan (join each island, then bridge) beats every left-deep order",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "A1", Tuples: 50_000, Width: 16},
+					{Name: "A2", Tuples: 60_000, Width: 16},
+					{Name: "A3", Tuples: 100_000, Width: 16},
+					{Name: "B1", Tuples: 40_000, Width: 16},
+					{Name: "B2", Tuples: 45_000, Width: 16},
+					{Name: "B3", Tuples: 80_000, Width: 16},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 60_000},
+					{Left: 1, Right: 2, Selectivity: 1.0 / 100_000},
+					{Left: 3, Right: 4, Selectivity: 1.0 / 45_000},
+					{Left: 4, Right: 5, Selectivity: 1.0 / 80_000},
+					{Left: 2, Right: 3, Selectivity: 1.0 / 40_000},
 				},
 			},
 		},

@@ -1,0 +1,446 @@
+package queryplan
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/costir"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+)
+
+// The two-phase DP optimizer (phase 1 lives here). Phase 1 runs a
+// dynamic program over the connected subgraphs of the join graph
+// (DPccp-style, bushy trees allowed, cross-product-free): a memo table
+// keyed by relation subset holds, per subset, the top-k subplans ranked
+// by a context-free cost bound — every operator of the subplan lowered
+// and IR-costed in isolation against a cold cache, summed. The bound
+// has to be context-free because the paper's Eq. 5.2 threads cache
+// state through the ⊕ sequence, which makes a subplan's exact cost
+// depend on everything that ran before it; pricing each operator as if
+// it ran alone is the pruning metric, not the final answer. The
+// additive form makes phase 1 cheap: a candidate's bound is its
+// children's memoized bounds plus a per-operator cold cost that is
+// itself memoized by operator geometry, so the dynamic program never
+// re-evaluates a subtree. Phase 2 (internal/planner) re-costs every
+// surviving full plan exactly as the exhaustive path does — one
+// ⊕-sequenced compound pattern, paper-faithful IR evaluation — so
+// final rankings remain bit-compatible with the algebra.
+// docs/optimizer.md discusses why the bound is safe-ish and how the
+// exhaustive oracle test bounds the risk.
+
+// SearchStrategy selects the plan-space search engine.
+type SearchStrategy string
+
+const (
+	// SearchDP is the memoized dynamic-programming search over
+	// connected subgraphs (the default; handles up to MaxRelations).
+	SearchDP SearchStrategy = "dp"
+	// SearchExhaustive is the exhaustive left-deep enumerator — the
+	// complete-but-factorial test oracle for small queries.
+	SearchExhaustive SearchStrategy = "exhaustive"
+)
+
+// SearchOptions tune the plan-space search. The zero value means the
+// DP search with DefaultTopK and bushy trees enabled.
+type SearchOptions struct {
+	// Strategy picks the engine; "" means SearchDP.
+	Strategy SearchStrategy
+	// TopK bounds the subplans kept per memo bucket in the DP search
+	// (pruned by the context-free cost bound). 0 means DefaultTopK;
+	// negative disables pruning entirely (every subplan survives — the
+	// configuration the exhaustive-oracle parity test runs).
+	TopK int
+	// LeftDeepOnly restricts the DP search to left-deep join trees
+	// (bushy off), matching the exhaustive enumerator's plan space.
+	LeftDeepOnly bool
+}
+
+// DefaultTopK is the per-bucket memo width used when TopK is 0.
+const DefaultTopK = 3
+
+// normalized resolves defaults; topK returns the effective bucket cap.
+func (so SearchOptions) normalized() SearchOptions {
+	if so.Strategy == "" {
+		so.Strategy = SearchDP
+	}
+	return so
+}
+
+func (so SearchOptions) topK() int {
+	switch {
+	case so.TopK == 0:
+		return DefaultTopK
+	case so.TopK < 0:
+		return math.MaxInt
+	}
+	return so.TopK
+}
+
+// Search expands a query into physical plan trees with the configured
+// strategy (opts.Search). SearchDP prices its pruning bounds on hier,
+// which must be non-nil; SearchExhaustive ignores hier and delegates to
+// Enumerate. Score the result with internal/planner.ScoreOn — that
+// exact re-cost is phase 2 of the DP optimizer.
+func Search(q Query, opts Options, hier *hardware.Hierarchy) ([]*Plan, error) {
+	so := opts.Search.normalized()
+	switch so.Strategy {
+	case SearchExhaustive:
+		return Enumerate(q, opts)
+	case SearchDP:
+		return dpSearch(q, opts, so, hier)
+	default:
+		return nil, fmt.Errorf("queryplan: unknown search strategy %q (want %q or %q)",
+			so.Strategy, SearchDP, SearchExhaustive)
+	}
+}
+
+// scored is one memoized subplan with its context-free cost bound.
+type scored struct {
+	plan  *Plan
+	bound float64
+	// seq is the global insertion number — the deterministic tie-break
+	// that keeps memo pruning and final ordering stable.
+	seq int
+}
+
+// memoEntry holds one subset's surviving subplans, split by output
+// order (the classic "interesting orders" refinement): a sorted-output
+// subplan can lose on the context-free bound yet win the full query by
+// feeding a downstream merge join, sort-aggregate or order-by for free,
+// so each order class keeps its own top-k.
+type memoEntry struct {
+	unsorted, sorted []scored
+}
+
+func (m *memoEntry) empty() bool { return len(m.unsorted) == 0 && len(m.sorted) == 0 }
+
+// ranked returns the entry's subplans merged across both order classes,
+// cheapest bound first.
+func (m *memoEntry) ranked() []scored {
+	all := make([]scored, 0, len(m.unsorted)+len(m.sorted))
+	all = append(all, m.unsorted...)
+	all = append(all, m.sorted...)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].bound != all[j].bound {
+			return all[i].bound < all[j].bound
+		}
+		return all[i].seq < all[j].seq
+	})
+	return all
+}
+
+// dp carries the state of one phase-1 run.
+type dp struct {
+	e    *enumerator
+	hier *hardware.Hierarchy
+	topK int
+	// leftDeep restricts joins to a single relation on the right side.
+	leftDeep bool
+	// adj[i] is the bitmask of relations sharing a join edge with i.
+	adj []uint32
+	// memo[s] holds the surviving subplans for relation subset s. Only
+	// connected subsets ever become non-empty: singletons are seeded
+	// directly, and a larger subset gains plans only from a split into
+	// two non-empty (hence connected) halves bridged by a join edge —
+	// so connectivity propagates inductively and cross products are
+	// never built.
+	memo []memoEntry
+	seq  int
+	// opCost memoizes the cold cost of a single join operator by its
+	// geometry: pairs drawn from the same memo buckets overwhelmingly
+	// share input/output shapes, so the dynamic program prices each
+	// distinct operator shape once instead of once per candidate.
+	opCost map[opKey]float64
+}
+
+// opKey is the geometry of one join operator — everything its isolated
+// lowering (and hence its cold cost) depends on.
+type opKey struct {
+	alg        Algorithm
+	fanout     int64
+	n1, w1     int64
+	sorted1    bool
+	n2, w2     int64
+	sorted2    bool
+	nOut, wOut int64
+}
+
+// dpSearch is phase 1: build the memo bottom-up over all subsets, then
+// expand the full set's survivors with the aggregate/distinct/order-by
+// variants exactly as the exhaustive enumerator does.
+func dpSearch(q Query, opts Options, so SearchOptions, hier *hardware.Hierarchy) ([]*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if hier == nil {
+		return nil, fmt.Errorf("queryplan: DP search needs a hardware hierarchy to price its context-free cost bounds (pass one to Search, or use SearchExhaustive)")
+	}
+	opts = opts.normalized()
+	e := enumerator{q: q, opts: opts}
+	n := len(q.Relations)
+
+	d := &dp{
+		e:        &e,
+		hier:     hier,
+		topK:     so.topK(),
+		leftDeep: so.LeftDeepOnly,
+		adj:      adjacency(q),
+		memo:     make([]memoEntry, 1<<n),
+		opCost:   make(map[opKey]float64),
+	}
+	for i := 0; i < n; i++ {
+		leaf := e.scanPlan(i)
+		b, err := d.leafBound(leaf)
+		if err != nil {
+			return nil, err
+		}
+		d.insert(uint32(1)<<i, scored{plan: leaf, bound: b, seq: d.next()})
+	}
+	full := uint32(1)<<n - 1
+	// Numeric order visits every proper subset of s before s itself, so
+	// each buildSubset sees final (pruned) child entries.
+	for s := uint32(3); s <= full; s++ {
+		if bits.OnesCount32(s) < 2 {
+			continue
+		}
+		if err := d.buildSubset(s); err != nil {
+			return nil, err
+		}
+	}
+
+	ranked := d.memo[full].ranked()
+	plans := make([]*Plan, len(ranked))
+	for i, r := range ranked {
+		plans[i] = r.plan
+	}
+	if q.GroupBy > 0 {
+		plans = e.aggVariants(plans, OpAggregate, q.GroupBy)
+	}
+	if q.Distinct > 0 {
+		plans = e.aggVariants(plans, OpDistinct, q.Distinct)
+	}
+	if q.SortBy {
+		plans = e.sortVariants(plans)
+	}
+	// A negative TopK is an explicit "give me everything" oracle run, so
+	// the cap — a guard against unintentionally unbounded plan lists —
+	// does not apply.
+	if so.TopK >= 0 && len(plans) > opts.MaxPlans {
+		return nil, fmt.Errorf("queryplan: %d candidate plans exceed the cap of %d (shrink TopK or raise Options.MaxPlans)",
+			len(plans), opts.MaxPlans)
+	}
+	return plans, nil
+}
+
+// adjacency builds the per-relation neighbour bitmasks.
+func adjacency(q Query) []uint32 {
+	adj := make([]uint32, len(q.Relations))
+	for _, e := range q.Joins {
+		adj[e.Left] |= uint32(1) << e.Right
+		adj[e.Right] |= uint32(1) << e.Left
+	}
+	return adj
+}
+
+// next returns the next insertion number.
+func (d *dp) next() int {
+	d.seq++
+	return d.seq
+}
+
+// insert files a subplan into its subset's order-class bucket,
+// compacting the bucket back to the top-k whenever it doubles — online
+// top-k selection is prefix-composable (an element dropped here had k
+// better-or-equal-and-earlier entries, which only ever get displaced by
+// still better ones), so mid-stream compaction yields exactly the same
+// survivors as pruning once at the end while keeping memo memory
+// O(subsets × k) instead of O(candidates).
+func (d *dp) insert(s uint32, sc scored) {
+	entry := &d.memo[s]
+	bucket := &entry.unsorted
+	if sc.plan.Out.Sorted {
+		bucket = &entry.sorted
+	}
+	*bucket = append(*bucket, sc)
+	if d.topK < math.MaxInt/2 && len(*bucket) >= 2*d.topK+16 {
+		*bucket = cutTopK(*bucket, d.topK)
+	}
+}
+
+// cutTopK sorts a bucket by (bound, insertion order) and truncates it
+// to k entries.
+func cutTopK(b []scored, k int) []scored {
+	sort.SliceStable(b, func(i, j int) bool { return b[i].bound < b[j].bound })
+	if len(b) > k {
+		b = b[:k]
+	}
+	return b
+}
+
+// buildSubset fills memo[s] from every (S1, S2) split of s: both halves
+// connected (non-empty memo), joined by at least one edge, every
+// surviving subplan pair, every applicable join algorithm. Ordered
+// pairs are enumerated with S1 ascending, which makes the left-deep
+// restriction of the DP search visit extensions in the same relation
+// order as the exhaustive enumerator.
+func (d *dp) buildSubset(s uint32) error {
+	for _, s1 := range splitsAscending(s) {
+		s2 := s ^ s1
+		if d.leftDeep && bits.OnesCount32(s2) != 1 {
+			continue
+		}
+		e1, e2 := &d.memo[s1], &d.memo[s2]
+		if e1.empty() || e2.empty() || !d.crossEdge(s1, s2) {
+			continue
+		}
+		r1, r2 := e1.ranked(), e2.ranked()
+		for _, p1 := range r1 {
+			for _, p2 := range r2 {
+				out := d.e.pairOutput(p1.plan, p2.plan, s1, s2, s)
+				for _, node := range d.e.joinNodes(p1.plan, p2.plan, out) {
+					op, err := d.opBound(node)
+					if err != nil {
+						return err
+					}
+					d.insert(s, scored{plan: node, bound: p1.bound + p2.bound + op, seq: d.next()})
+				}
+			}
+		}
+	}
+	d.prune(s)
+	return nil
+}
+
+// splitsAscending enumerates the proper non-empty subsets of s in
+// ascending numeric order.
+func splitsAscending(s uint32) []uint32 {
+	subs := make([]uint32, 0, 16)
+	for s1 := (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s {
+		subs = append(subs, s1)
+	}
+	for i, j := 0, len(subs)-1; i < j; i, j = i+1, j-1 {
+		subs[i], subs[j] = subs[j], subs[i]
+	}
+	return subs
+}
+
+// crossEdge reports whether any join edge bridges the two halves.
+func (d *dp) crossEdge(s1, s2 uint32) bool {
+	for f := s1; f != 0; f &= f - 1 {
+		if d.adj[bits.TrailingZeros32(f)]&s2 != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// prune cuts each order-class bucket of memo[s] down to the top-k by
+// bound (ties broken by insertion order, so the result is
+// deterministic).
+func (d *dp) prune(s uint32) {
+	entry := &d.memo[s]
+	entry.unsorted = cutTopK(entry.unsorted, d.topK)
+	entry.sorted = cutTopK(entry.sorted, d.topK)
+}
+
+// coldCost lowers a plan to its compound pattern, compiles it, and
+// evaluates it against a cold cache on the search's hierarchy, plus the
+// hardware-independent CPU estimate. This is the context-free pricing
+// primitive of the pruning bound — exact cost is context-dependent
+// under Eq. 5.2's state threading, so the bound deliberately ignores
+// whatever cache state would surround the priced steps.
+func (d *dp) coldCost(p *Plan) (float64, error) {
+	pat, cpuNS, err := p.Lower(d.e.opts.CPU, d.e.opts.PruneBytes)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := costir.Compile(pat)
+	if err != nil {
+		return 0, err
+	}
+	return prog.MemoryTimeNS(d.hier) + cpuNS, nil
+}
+
+// leafBound prices a scan leaf's own materialization steps. A bare
+// unfiltered scan contributes no step of its own (its consumer reads
+// the base region directly), so it bounds to zero; a filtered or
+// projecting scan is priced cold like any other operator.
+func (d *dp) leafBound(leaf *Plan) (float64, error) {
+	if leaf.Filter >= 1 && leaf.Proj <= 0 {
+		return 0, nil
+	}
+	return d.coldCost(leaf)
+}
+
+// opBound prices one join operator in isolation: the node's own steps
+// (including any sorts a sort-merge join adds), with its children
+// replaced by already-materialized inputs so no subtree is
+// re-evaluated. The result is memoized by operator geometry, and a
+// candidate's full bound is its children's bounds plus this — the
+// additive, context-free decomposition that keeps phase 1 linear in
+// distinct operator shapes rather than quadratic in subplan sizes.
+func (d *dp) opBound(node *Plan) (float64, error) {
+	l, r := node.Children[0], node.Children[1]
+	key := opKey{
+		alg: node.Algorithm, fanout: node.Fanout,
+		n1: l.Out.Tuples, w1: l.Out.Width, sorted1: l.Out.Sorted,
+		n2: r.Out.Tuples, w2: r.Out.Width, sorted2: r.Out.Sorted,
+		nOut: node.Out.Tuples, wOut: node.Out.Width,
+	}
+	if c, ok := d.opCost[key]; ok {
+		return c, nil
+	}
+	iso := &Plan{
+		Kind: OpJoin, Algorithm: node.Algorithm, Fanout: node.Fanout,
+		Children: []*Plan{materializedLeaf(l.Out), materializedLeaf(r.Out)},
+		Out:      node.Out,
+	}
+	c, err := d.coldCost(iso)
+	if err != nil {
+		return 0, err
+	}
+	d.opCost[key] = c
+	return c, nil
+}
+
+// materializedLeaf wraps a relation as a bare scan: lowering it
+// contributes no steps, so the operator above prices only its own
+// traversals of the (assumed materialized) input.
+func materializedLeaf(rel Relation) *Plan {
+	return &Plan{Kind: OpScan, Rel: rel, Filter: 1, Out: rel}
+}
+
+// pairOutput estimates the output of joining two memoized subplans:
+// cardinalities multiplied and scaled by every edge bridging the two
+// subsets, widths concatenated minus the shared key — the set-split
+// generalization of the exhaustive enumerator's joinOutput, and
+// identical to it (including the per-step rounding cascade) on
+// left-deep splits.
+func (e *enumerator) pairOutput(p1, p2 *Plan, s1, s2, s uint32) Relation {
+	card := float64(p1.Out.Tuples) * float64(p2.Out.Tuples)
+	for _, edge := range e.q.Joins {
+		l, r := uint32(1)<<edge.Left, uint32(1)<<edge.Right
+		if (l&s1 != 0 && r&s2 != 0) || (l&s2 != 0 && r&s1 != 0) {
+			card *= edge.Selectivity
+		}
+	}
+	width := p1.Out.Width + p2.Out.Width - engine.KeyWidth
+	if width < engine.KeyWidth {
+		width = engine.KeyWidth
+	}
+	// Every join output is named by its relation subset. A subset occurs
+	// at most once per plan tree, so the name is collision-free within
+	// any plan a memoized subplan can end up in — essential because the
+	// IR canonicalizer dedups regions by name and geometry, and a bushy
+	// plan's disjoint subtrees (e.g. two symmetric islands) routinely
+	// materialize same-sized intermediates that must stay distinct
+	// regions. The exhaustive enumerator's bare T%d names are safe only
+	// because left-deep plans have one intermediate per size; costs are
+	// unaffected either way (no collision under either scheme for
+	// left-deep plans), which the parity harness locks.
+	name := fmt.Sprintf("T%d.%x", bits.OnesCount32(s)-1, s)
+	return Relation{Name: name, Tuples: clampTuples(card), Width: width}
+}

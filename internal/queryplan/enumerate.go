@@ -26,6 +26,10 @@ type Options struct {
 	// MaxPlans caps the number of enumerated plans; exceeding it is an
 	// error (never a silent truncation). 0 means DefaultMaxPlans.
 	MaxPlans int
+	// Search selects and tunes the plan-space search strategy. Only
+	// Search (dp.go) honours it; Enumerate always runs the exhaustive
+	// left-deep path.
+	Search SearchOptions
 }
 
 // Enumeration defaults.
@@ -63,6 +67,12 @@ func (o Options) normalized() Options {
 // fan-out, nested-loop joins for small inputs), and hash- vs sort-based
 // variants of the query's aggregate or distinct. Plans arrive in a
 // deterministic order; score them with internal/planner.ScoreOn.
+//
+// Enumerate is the exhaustive path: complete for small queries but
+// factorial in the relation count, so larger join graphs trip the
+// MaxPlans cap. Production callers go through Search, which defaults to
+// the memoized DP search (dp.go) and keeps this enumerator available as
+// the SearchExhaustive test oracle.
 func Enumerate(q Query, opts Options) ([]*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err

@@ -119,8 +119,8 @@ func goldenPath(sc, profile string) string {
 // behind by a removed or renamed scenario fails the test (and is
 // deleted by -update).
 func TestGolden(t *testing.T) {
-	if len(queryplan.Catalog()) < 12 {
-		t.Fatalf("catalog has %d scenarios, want ≥ 12", len(queryplan.Catalog()))
+	if len(queryplan.Catalog()) < 16 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 16", len(queryplan.Catalog()))
 	}
 	t.Run("corpus-files", func(t *testing.T) {
 		expected := map[string]bool{}

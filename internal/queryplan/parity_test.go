@@ -1,0 +1,108 @@
+package queryplan_test
+
+// The exhaustive-oracle parity harness (see docs/optimizer.md): with
+// pruning disabled (TopK = ∞) and bushy trees off, the DP search
+// explores exactly the exhaustive enumerator's plan space, so after the
+// planner's exact phase-2 re-cost the two engines must agree — same
+// winner, same top-5 ranking, costs within 1e-9 relative — on every
+// small catalog scenario. This bounds what top-k pruning can ever
+// break: the engines share phase 2, so any disagreement under pruning
+// is a pruning decision, never a costing bug.
+//
+// Parity runs on one profile: the phase-2 scoring both engines share is
+// profile-parameterized but identical code, and cross-profile coverage
+// is the golden corpus's job.
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/planner"
+	"repro/internal/queryplan"
+)
+
+// parityRelations is the scenario size the exhaustive oracle handles
+// comfortably; every catalog scenario at or below it is checked.
+const parityRelations = 4
+
+func TestDPMatchesExhaustiveOracle(t *testing.T) {
+	h := hardware.Origin2000()
+	pl, err := planner.New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range queryplan.Catalog() {
+		if len(sc.Query.Relations) > parityRelations {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			ex, err := pl.QueryPlansSearch(sc.Query, planner.SearchOptions{Strategy: planner.SearchExhaustive})
+			if err != nil {
+				t.Fatalf("exhaustive: %v", err)
+			}
+			dp, err := pl.QueryPlansSearch(sc.Query, planner.SearchOptions{TopK: -1, LeftDeepOnly: true})
+			if err != nil {
+				t.Fatalf("dp: %v", err)
+			}
+			if len(ex) == 0 || len(dp) != len(ex) {
+				t.Fatalf("plan count: exhaustive %d, DP k=∞ left-deep %d", len(ex), len(dp))
+			}
+			if ex[0].Algorithm != dp[0].Algorithm {
+				t.Errorf("winner diverged:\n  exhaustive: %s\n  dp:         %s", ex[0].Algorithm, dp[0].Algorithm)
+			}
+			top := 5
+			if top > len(ex) {
+				top = len(ex)
+			}
+			for i := 0; i < top; i++ {
+				if ex[i].Algorithm != dp[i].Algorithm {
+					t.Errorf("ranking[%d] diverged:\n  exhaustive: %s\n  dp:         %s",
+						i, ex[i].Algorithm, dp[i].Algorithm)
+				}
+				if d := relDiff(ex[i].TotalNS(), dp[i].TotalNS()); d > 1e-9 {
+					t.Errorf("ranking[%d] cost diverged: exhaustive %g, dp %g (rel %g)",
+						i, ex[i].TotalNS(), dp[i].TotalNS(), d)
+				}
+			}
+		})
+	}
+}
+
+// TestDPBushyNeverWorseThanOracle: bushy trees only widen the plan
+// space, so on a query where the space stays small the unrestricted DP
+// winner must cost at most the exhaustive left-deep oracle's winner.
+// The two-island shape is where bushy plans actually win (see the
+// join6-islands catalog scenario for the full-size version).
+func TestDPBushyNeverWorseThanOracle(t *testing.T) {
+	q := queryplan.Query{
+		Relations: []queryplan.Relation{
+			{Name: "A1", Tuples: 1_500, Width: 16},
+			{Name: "A2", Tuples: 1_800, Width: 16},
+			{Name: "B1", Tuples: 1_200, Width: 16},
+			{Name: "B2", Tuples: 1_350, Width: 16},
+		},
+		Joins: []queryplan.JoinEdge{
+			{Left: 0, Right: 1, Selectivity: 1.0 / 1_800},
+			{Left: 2, Right: 3, Selectivity: 1.0 / 1_350},
+			{Left: 1, Right: 2, Selectivity: 1.0 / 1_200},
+		},
+	}
+	pl, err := planner.New(hardware.Origin2000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := pl.BestQueryPlanSearch(q, planner.SearchOptions{Strategy: planner.SearchExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bushy, err := pl.BestQueryPlanSearch(q, planner.SearchOptions{TopK: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bushy.TotalNS() > oracle.TotalNS()*(1+1e-9) {
+		t.Errorf("bushy DP winner %s (%g) worse than the left-deep oracle winner %s (%g)",
+			bushy.Algorithm, bushy.TotalNS(), oracle.Algorithm, oracle.TotalNS())
+	}
+}

@@ -6,15 +6,19 @@
 // provides: base relations with cardinalities and widths, a join graph
 // with per-edge selectivities, optional per-relation filters and
 // projections, and an optional aggregate / distinct / order-by on top.
-// Enumerate expands a Query into the physical alternatives (left-deep
-// join orders over the join graph, an algorithm choice per join, hash-
-// vs sort-based grouping and duplicate elimination), and each physical
-// Plan lowers to a single compound pattern: operators execute one after
-// another (⊕, MonetDB-style full materialization, which is exactly the
-// execution model the paper's system uses), each operator's own
-// concurrent region traversals combined with ⊙. Eq. 5.2's state
-// threading then prices cross-operator cache reuse — the intermediate a
-// join leaves in the cache discounts the aggregate that consumes it.
+// Search expands a Query into physical alternatives — by default a
+// dynamic program over the connected subgraphs of the join graph
+// (dp.go: memoized subplans, bushy trees, top-k pruning per subset by a
+// context-free cost bound), or the exhaustive left-deep enumerator
+// (enumerate.go, kept as the small-query test oracle) — choosing an
+// algorithm per join and hash- vs sort-based grouping and duplicate
+// elimination. Each physical Plan lowers to a single compound pattern:
+// operators execute one after another (⊕, MonetDB-style full
+// materialization, which is exactly the execution model the paper's
+// system uses), each operator's own concurrent region traversals
+// combined with ⊙. Eq. 5.2's state threading then prices cross-operator
+// cache reuse — the intermediate a join leaves in the cache discounts
+// the aggregate that consumes it.
 //
 // The package sits below internal/planner (which re-exports Relation
 // and Algorithm from here and scores enumerated plans across hardware
@@ -134,9 +138,11 @@ type Query struct {
 	SortBy bool
 }
 
-// MaxRelations bounds the join-order enumeration (left-deep orders over
-// n relations grow factorially).
-const MaxRelations = 6
+// MaxRelations bounds the plan-space search. The DP search (dp.go)
+// memoizes connected subgraphs, so it handles this many relations
+// comfortably; the exhaustive left-deep enumerator (enumerate.go) grows
+// factorially and hits Options.MaxPlans well before the cap.
+const MaxRelations = 10
 
 // Validate checks the query's structural invariants.
 func (q Query) Validate() error {
@@ -172,6 +178,7 @@ func (q Query) Validate() error {
 				i, u, q.Relations[i].Width)
 		}
 	}
+	edges := make(map[[2]int]bool, len(q.Joins))
 	for _, e := range q.Joins {
 		if e.Left < 0 || e.Left >= len(q.Relations) || e.Right < 0 || e.Right >= len(q.Relations) || e.Left == e.Right {
 			return fmt.Errorf("queryplan: join edge %d–%d outside the relation list", e.Left, e.Right)
@@ -179,6 +186,14 @@ func (q Query) Validate() error {
 		if e.Selectivity <= 0 || e.Selectivity > 1 {
 			return fmt.Errorf("queryplan: join edge %d–%d selectivity %g outside (0, 1]", e.Left, e.Right, e.Selectivity)
 		}
+		lo, hi := e.Left, e.Right
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if edges[[2]int{lo, hi}] {
+			return fmt.Errorf("queryplan: duplicate join edge %d–%d", lo, hi)
+		}
+		edges[[2]int{lo, hi}] = true
 	}
 	if len(q.Relations) > 1 && !q.connected() {
 		return fmt.Errorf("queryplan: join graph does not connect all %d relations (cross products are not enumerated)", len(q.Relations))

@@ -67,6 +67,102 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateGraphShapes covers the join-graph shapes the DP search
+// opened up — cycles, disconnected islands, duplicate edges, the raised
+// relation cap — with exact error-message assertions.
+func TestValidateGraphShapes(t *testing.T) {
+	rel := func(name string) Relation { return Relation{Name: name, Tuples: 10, Width: 16} }
+
+	t.Run("cycle is valid", func(t *testing.T) {
+		q := Query{
+			Relations: []Relation{rel("A"), rel("B"), rel("C")},
+			Joins: []JoinEdge{
+				{Left: 0, Right: 1, Selectivity: 0.1},
+				{Left: 1, Right: 2, Selectivity: 0.1},
+				{Left: 2, Right: 0, Selectivity: 0.1},
+			},
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("cyclic join graph rejected: %v", err)
+		}
+	})
+
+	t.Run("disconnected islands", func(t *testing.T) {
+		q := Query{
+			Relations: []Relation{rel("A1"), rel("A2"), rel("B1"), rel("B2")},
+			Joins: []JoinEdge{
+				{Left: 0, Right: 1, Selectivity: 0.1},
+				{Left: 2, Right: 3, Selectivity: 0.1},
+			},
+		}
+		err := q.Validate()
+		want := "queryplan: join graph does not connect all 4 relations (cross products are not enumerated)"
+		if err == nil || err.Error() != want {
+			t.Errorf("two-island graph: err = %v, want %q", err, want)
+		}
+	})
+
+	t.Run("duplicate edge", func(t *testing.T) {
+		q := Query{
+			Relations: []Relation{rel("A"), rel("B")},
+			Joins: []JoinEdge{
+				{Left: 0, Right: 1, Selectivity: 0.1},
+				{Left: 0, Right: 1, Selectivity: 0.2},
+			},
+		}
+		err := q.Validate()
+		want := "queryplan: duplicate join edge 0–1"
+		if err == nil || err.Error() != want {
+			t.Errorf("duplicate edge: err = %v, want %q", err, want)
+		}
+	})
+
+	t.Run("duplicate edge reversed", func(t *testing.T) {
+		// The same unordered pair spelled both ways is still a duplicate.
+		q := Query{
+			Relations: []Relation{rel("A"), rel("B"), rel("C")},
+			Joins: []JoinEdge{
+				{Left: 1, Right: 2, Selectivity: 0.1},
+				{Left: 0, Right: 1, Selectivity: 0.1},
+				{Left: 2, Right: 1, Selectivity: 0.3},
+			},
+		}
+		err := q.Validate()
+		want := "queryplan: duplicate join edge 1–2"
+		if err == nil || err.Error() != want {
+			t.Errorf("reversed duplicate edge: err = %v, want %q", err, want)
+		}
+	})
+
+	t.Run("relation cap", func(t *testing.T) {
+		q := Query{}
+		for i := 0; i <= MaxRelations; i++ {
+			q.Relations = append(q.Relations, rel(string(rune('A'+i))))
+			if i > 0 {
+				q.Joins = append(q.Joins, JoinEdge{Left: i - 1, Right: i, Selectivity: 0.1})
+			}
+		}
+		err := q.Validate()
+		want := "queryplan: 11 relations exceeds the maximum of 10"
+		if err == nil || err.Error() != want {
+			t.Errorf("over the cap: err = %v, want %q", err, want)
+		}
+	})
+
+	t.Run("at the cap", func(t *testing.T) {
+		q := Query{}
+		for i := 0; i < MaxRelations; i++ {
+			q.Relations = append(q.Relations, rel(string(rune('A'+i))))
+			if i > 0 {
+				q.Joins = append(q.Joins, JoinEdge{Left: i - 1, Right: i, Selectivity: 0.1})
+			}
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("%d relations (exactly the cap) rejected: %v", MaxRelations, err)
+		}
+	})
+}
+
 func TestEnumerateSingleRelation(t *testing.T) {
 	q := Query{Relations: []Relation{{Name: "U", Tuples: 1000, Width: 16}}}
 	plans, err := Enumerate(q, Options{})
@@ -313,8 +409,8 @@ func TestEnumerateMaxPlansCap(t *testing.T) {
 
 func TestCatalogValidatesAndIsStable(t *testing.T) {
 	cat := Catalog()
-	if len(cat) < 12 {
-		t.Fatalf("catalog has %d scenarios, want ≥ 12", len(cat))
+	if len(cat) < 16 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 16", len(cat))
 	}
 	seen := map[string]bool{}
 	for _, sc := range cat {

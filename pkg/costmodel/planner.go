@@ -8,10 +8,13 @@ import "repro/internal/planner"
 // each one's access pattern, and ranks them cheapest first.
 //
 // Beyond single operators, Planner.QueryCandidates / QueryPlans /
-// BestQueryPlan rank whole query plans (join order plus an algorithm
-// choice per operator) for a logical query; package
-// repro/pkg/costmodel/scenario wraps those with a ready-made scenario
-// catalog.
+// BestQueryPlan rank whole query plans (join tree plus an algorithm
+// choice per operator) for a logical query, searched by the two-phase
+// DP optimizer — memoized connected subgraphs, bushy trees, top-k
+// pruning, exact re-cost of the survivors (docs/optimizer.md). The
+// *Search variants take SearchOptions (strategy, top-k, bushy on/off);
+// package repro/pkg/costmodel/scenario wraps those with a ready-made
+// scenario catalog.
 type (
 	// Planner costs candidate plans on one hardware profile.
 	Planner = planner.Planner
@@ -28,6 +31,19 @@ type (
 	Algorithm = planner.Algorithm
 	// CPUCosts are the per-tuple T_cpu constants per algorithm step.
 	CPUCosts = planner.CPUCosts
+	// SearchOptions tune the query-plan search (strategy, memo top-k,
+	// bushy on/off) for Planner.QueryCandidatesSearch and friends; the
+	// zero value is the DP search with defaults.
+	SearchOptions = planner.SearchOptions
+	// SearchStrategy selects the plan-space search engine.
+	SearchStrategy = planner.SearchStrategy
+)
+
+// The plan-space search strategies: the memoized DP search over
+// connected subgraphs (default) and the exhaustive left-deep oracle.
+const (
+	SearchDP         = planner.SearchDP
+	SearchExhaustive = planner.SearchExhaustive
 )
 
 // ScorePlans costs every candidate on the hierarchy from its compiled

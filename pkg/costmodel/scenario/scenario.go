@@ -4,18 +4,23 @@
 //
 // A Query describes the logical shape — relations, a join graph with
 // selectivities, optional filters/projections and an aggregate,
-// distinct or order-by on top. PricePlan enumerates its physical
-// alternatives (left-deep join orders, an algorithm choice per join,
-// hash- vs sort-based grouping), lowers each plan to one compound
+// distinct or order-by on top. PricePlan searches its physical
+// alternatives — by default a dynamic program over the connected
+// subgraphs of the join graph (memoized subplans, bushy trees, top-k
+// pruning by a context-free cost bound; see docs/optimizer.md), with
+// the exhaustive left-deep enumerator available via SearchOptions as a
+// small-query oracle — lowers each surviving plan to one compound
 // access pattern (operators sequenced with ⊕ so cache state threads
 // between them, MonetDB-style full materialization), compiles it once
 // into the cost IR, and ranks the plans by predicted total time on a
 // hardware profile. BestPlan returns the winner.
 //
 // Catalog ships ready-made scenarios — single-operator baselines,
-// hash-vs-sort decisions, 2–4 relation join-order problems and TPC-H
-// Q1/Q3-shaped pipelines — whose expected plan choices and costs are
-// locked by the repository's golden-corpus regression harness (see
+// hash-vs-sort decisions, 2–4 relation join-order problems, TPC-H
+// Q1/Q3-shaped pipelines, and DP-only shapes (a 7-relation snowflake,
+// an 8-relation chain, a cyclic graph, a bushy-favouring two-island
+// query) — whose expected plan choices and costs are locked by the
+// repository's golden-corpus regression harness (see
 // docs/scenarios.md). The same scenarios are served by `costmodel
 // scenarios` and by the HTTP endpoint POST /v1/plan.
 package scenario
@@ -42,6 +47,25 @@ type (
 	// Options parameterize enumeration (fan-outs, plan cap, CPU
 	// constants) for callers using Enumerate directly.
 	Options = queryplan.Options
+	// SearchOptions tune the plan-space search: strategy (DP or
+	// exhaustive), memo top-k, bushy on/off. The zero value is the DP
+	// search with defaults.
+	SearchOptions = queryplan.SearchOptions
+	// SearchStrategy selects the plan-space search engine.
+	SearchStrategy = queryplan.SearchStrategy
+)
+
+// The search strategies.
+const (
+	// SearchDP is the memoized DP search over connected subgraphs
+	// (bushy trees, top-k pruning) — the default.
+	SearchDP = queryplan.SearchDP
+	// SearchExhaustive is the exhaustive left-deep enumerator, the
+	// complete-but-factorial oracle for small queries.
+	SearchExhaustive = queryplan.SearchExhaustive
+	// DefaultTopK is the DP memo width used when SearchOptions.TopK is
+	// zero.
+	DefaultTopK = queryplan.DefaultTopK
 )
 
 // Catalog returns the built-in scenarios.
@@ -54,40 +78,60 @@ func Names() []string { return queryplan.ScenarioNames() }
 func ByName(name string) (Scenario, bool) { return queryplan.ScenarioByName(name) }
 
 // Enumerate expands a query into its physical plan trees without
-// costing them — the raw material for custom scoring loops.
+// costing them — the raw material for custom scoring loops. It always
+// runs the exhaustive left-deep path (no hierarchy to price DP bounds
+// on); use Candidates / PricePlan for the DP search.
 func Enumerate(q Query, opts Options) ([]*Plan, error) { return queryplan.Enumerate(q, opts) }
 
-// Candidates enumerates, lowers and compiles the physical plans of q
+// Candidates searches, lowers and compiles the physical plans of q
 // for the given hierarchy (whose smallest cache capacity prunes
-// quick-sort recursion), deduplicating cost-equivalent plans. The
-// result can be re-scored on any number of profiles with
-// costmodel.ScorePlans without re-compiling.
+// quick-sort recursion) under the default DP search, deduplicating
+// cost-equivalent plans. The result can be re-scored on any number of
+// profiles with costmodel.ScorePlans without re-compiling.
 func Candidates(h *costmodel.Hierarchy, q Query) ([]costmodel.Candidate, error) {
+	return CandidatesSearch(h, q, SearchOptions{})
+}
+
+// CandidatesSearch is Candidates with explicit search options
+// (strategy, memo top-k, bushy on/off).
+func CandidatesSearch(h *costmodel.Hierarchy, q Query, so SearchOptions) ([]costmodel.Candidate, error) {
 	pl, err := costmodel.NewPlanner(h)
 	if err != nil {
 		return nil, err
 	}
-	return pl.QueryCandidates(q)
+	return pl.QueryCandidatesSearch(q, so)
 }
 
-// PricePlan enumerates and prices every physical plan of q on the
-// hierarchy, returning the plans sorted cheapest first. Each returned
-// plan's Algorithm field carries the plan signature, e.g.
+// PricePlan searches and prices the physical plans of q on the
+// hierarchy under the default DP search, returning the plans sorted
+// cheapest first. Each returned plan's Algorithm field carries the
+// plan signature, e.g.
 //
 //	sort(hashagg((σ(C) hj σ(O)) hj L))
 func PricePlan(h *costmodel.Hierarchy, q Query) ([]costmodel.Plan, error) {
+	return PricePlanSearch(h, q, SearchOptions{})
+}
+
+// PricePlanSearch is PricePlan with explicit search options.
+func PricePlanSearch(h *costmodel.Hierarchy, q Query, so SearchOptions) ([]costmodel.Plan, error) {
 	pl, err := costmodel.NewPlanner(h)
 	if err != nil {
 		return nil, err
 	}
-	return pl.QueryPlans(q)
+	return pl.QueryPlansSearch(q, so)
 }
 
-// BestPlan returns the cheapest physical plan of q on the hierarchy.
+// BestPlan returns the cheapest physical plan of q on the hierarchy
+// under the default DP search.
 func BestPlan(h *costmodel.Hierarchy, q Query) (costmodel.Plan, error) {
+	return BestPlanSearch(h, q, SearchOptions{})
+}
+
+// BestPlanSearch is BestPlan with explicit search options.
+func BestPlanSearch(h *costmodel.Hierarchy, q Query, so SearchOptions) (costmodel.Plan, error) {
 	pl, err := costmodel.NewPlanner(h)
 	if err != nil {
 		return costmodel.Plan{}, err
 	}
-	return pl.BestQueryPlan(q)
+	return pl.BestQueryPlanSearch(q, so)
 }

@@ -19,8 +19,8 @@ func lightQuery() scenario.Query {
 }
 
 func TestCatalogSurface(t *testing.T) {
-	if len(scenario.Catalog()) < 12 {
-		t.Fatalf("catalog has %d scenarios, want ≥ 12", len(scenario.Catalog()))
+	if len(scenario.Catalog()) < 16 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 16", len(scenario.Catalog()))
 	}
 	names := scenario.Names()
 	if len(names) != len(scenario.Catalog()) {
@@ -101,6 +101,74 @@ func TestEnumerateExposed(t *testing.T) {
 	}
 	if plans[0].Signature() == "" {
 		t.Fatal("plan without signature")
+	}
+}
+
+// TestSearchOptionsSurface drives the facade's explicit-search entry
+// points: the exhaustive oracle and the pruned DP default must agree on
+// the winner of a small query, the DP space must be a subset, and an
+// invalid strategy must error.
+func TestSearchOptionsSurface(t *testing.T) {
+	h, err := costmodel.Profile("small-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := lightQuery()
+	ex, err := scenario.PricePlanSearch(h, q, scenario.SearchOptions{Strategy: scenario.SearchExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := scenario.PricePlanSearch(h, q, scenario.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp) == 0 || len(dp) > len(ex) {
+		t.Fatalf("DP space %d plans, exhaustive %d — pruned search should be a subset", len(dp), len(ex))
+	}
+	if dp[0].Algorithm != ex[0].Algorithm {
+		t.Errorf("DP winner %s != exhaustive winner %s", dp[0].Algorithm, ex[0].Algorithm)
+	}
+	best, err := scenario.BestPlanSearch(h, q, scenario.SearchOptions{Strategy: scenario.SearchExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Algorithm != ex[0].Algorithm {
+		t.Errorf("BestPlanSearch %s != PricePlanSearch[0] %s", best.Algorithm, ex[0].Algorithm)
+	}
+	cands, err := scenario.CandidatesSearch(h, q, scenario.SearchOptions{TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 || len(cands) > len(dp) {
+		t.Errorf("TopK=1 produced %d candidates, default DP %d", len(cands), len(dp))
+	}
+	if _, err := scenario.PricePlanSearch(h, q, scenario.SearchOptions{Strategy: "bogus"}); err == nil {
+		t.Error("invalid strategy accepted")
+	}
+}
+
+// TestDPReachesLargeScenarios prices the catalog shapes that exist only
+// for the DP engine.
+func TestDPReachesLargeScenarios(t *testing.T) {
+	// modern-x86, not small-test: the large scenarios' sort patterns
+	// recurse down to the smallest cache capacity, and small-test's 1 kB
+	// L1 would make every lowering needlessly huge.
+	h, err := costmodel.Profile("modern-x86")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"join7-star", "join8-chain", "join5-cycle", "join6-islands"} {
+		sc, ok := scenario.ByName(name)
+		if !ok {
+			t.Fatalf("scenario %s missing from the catalog", name)
+		}
+		best, err := scenario.BestPlan(h, sc.Query)
+		if err != nil {
+			t.Fatalf("BestPlan(%s): %v", name, err)
+		}
+		if best.Algorithm == "" || best.TotalNS() <= 0 {
+			t.Errorf("BestPlan(%s) = %+v", name, best)
+		}
 	}
 }
 

@@ -25,7 +25,22 @@ type PlanRequest struct {
 	// Top bounds the ranked plans echoed back; 0 means DefaultPlanTop,
 	// negative returns every plan.
 	Top int `json:"top,omitempty"`
+	// Search selects the plan-space search strategy: "dp" (the default
+	// — memoized DP over connected subgraphs, bushy trees) or
+	// "exhaustive" (the left-deep small-query oracle).
+	Search string `json:"search,omitempty"`
+	// TopK bounds the subplans the DP search keeps per memo bucket; 0
+	// means the engine default. The HTTP surface caps it at MaxPlanTopK
+	// and rejects negative values (the pruning-disabled oracle mode is
+	// an in-process test facility — over the wire it would let one
+	// request grow the memo and the phase-2 re-cost without bound).
+	TopK int `json:"topk,omitempty"`
+	// LeftDeep restricts the DP search to left-deep join trees.
+	LeftDeep bool `json:"left_deep,omitempty"`
 }
+
+// MaxPlanTopK is the widest DP memo the HTTP surface accepts.
+const MaxPlanTopK = 64
 
 // DefaultPlanTop is the ranking depth returned when PlanRequest.Top is 0.
 const DefaultPlanTop = 5
@@ -100,16 +115,23 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 // Plan resolves and prices one plan request on the server's registry.
-// The enumeration runs on the server's bounded worker pool. Catalog
+// The plan search runs on the server's bounded worker pool. Catalog
 // scenarios are fully deterministic per (profile, scenario, registry
-// version), so their complete rankings are memoized in the result
-// cache — the requested top is sliced per request after the cache —
+// version, search options), so their complete rankings are memoized in
+// the result cache — the search options are part of the cache key, so
+// a DP answer can never leak into an exhaustive request (or vice
+// versa); the requested top is sliced per request after the cache —
 // and counted by the result-cache hit/miss counters.
 func (s *Server) Plan(req PlanRequest) *PlanResponse {
 	if req.Profile == "" {
 		return &PlanResponse{Error: "missing profile"}
 	}
 	res := &PlanResponse{Profile: req.Profile, Scenario: req.Scenario}
+	so, err := searchFromWire(req)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
 	var q scenario.Query
 	var cacheKey string
 	switch {
@@ -123,7 +145,8 @@ func (s *Server) Plan(req PlanRequest) *PlanResponse {
 			return res
 		}
 		q = sc.Query
-		cacheKey = fmt.Sprintf("plan|v%d|%q|%s", s.reg.Version(), req.Profile, req.Scenario)
+		cacheKey = fmt.Sprintf("plan|v%d|%q|%s|search=%s|topk=%d|leftdeep=%t",
+			s.reg.Version(), req.Profile, req.Scenario, so.Strategy, so.TopK, so.LeftDeepOnly)
 	case req.Query != nil:
 		q = queryFromWire(req.Query)
 	default:
@@ -148,7 +171,7 @@ func (s *Server) Plan(req PlanRequest) *PlanResponse {
 			return res
 		}
 		s.sem <- struct{}{}
-		plans, err := scenario.PricePlan(h, q)
+		plans, err := scenario.PricePlanSearch(h, q, so)
 		<-s.sem
 		if err != nil {
 			res.Error = err.Error()
@@ -189,6 +212,41 @@ func rankedPlan(p costmodel.Plan) RankedPlan {
 		CPUNS:    p.CPUNS,
 		TotalNS:  p.TotalNS(),
 	}
+}
+
+// searchFromWire resolves, validates and normalizes the request's
+// search options. Validation runs here — before the cache and the
+// worker pool — so an invalid option is a cheap 400, never a poisoned
+// cache entry; normalization (default strategy and top-k made
+// explicit, DP-only knobs zeroed for the exhaustive oracle) makes
+// semantically identical requests share one cache entry.
+func searchFromWire(req PlanRequest) (scenario.SearchOptions, error) {
+	so := scenario.SearchOptions{
+		Strategy:     scenario.SearchStrategy(req.Search),
+		TopK:         req.TopK,
+		LeftDeepOnly: req.LeftDeep,
+	}
+	switch so.Strategy {
+	case "":
+		so.Strategy = scenario.SearchDP
+	case scenario.SearchDP, scenario.SearchExhaustive:
+	default:
+		return so, fmt.Errorf("unknown search strategy %q (want %q or %q)",
+			req.Search, scenario.SearchDP, scenario.SearchExhaustive)
+	}
+	if so.TopK < 0 || so.TopK > MaxPlanTopK {
+		return so, fmt.Errorf("topk %d outside [0, %d] (pruning cannot be disabled over HTTP)",
+			so.TopK, MaxPlanTopK)
+	}
+	if so.TopK == 0 {
+		so.TopK = scenario.DefaultTopK
+	}
+	if so.Strategy == scenario.SearchExhaustive {
+		// The exhaustive path ignores the DP knobs; zeroing them keeps
+		// the cache key canonical.
+		so.TopK, so.LeftDeepOnly = 0, false
+	}
+	return so, nil
 }
 
 func queryFromWire(pq *PlanQuery) scenario.Query {

@@ -146,6 +146,106 @@ func TestPlanScenarioMemoized(t *testing.T) {
 	}
 }
 
+// TestPlanCacheKeyedOnSearchOptions locks the result-cache key's search
+// dimensions: the same (profile, scenario) under different search
+// options must be computed separately — a DP ranking leaking into an
+// exhaustive request (or across top-k settings) would silently serve
+// the wrong plan space.
+func TestPlanCacheKeyedOnSearchOptions(t *testing.T) {
+	s := server.New(server.Config{})
+	dp := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1})
+	if dp.Error != "" {
+		t.Fatal(dp.Error)
+	}
+	missesAfterDP := s.ResultCacheStats().Misses
+
+	ex := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Search: "exhaustive"})
+	if ex.Error != "" {
+		t.Fatal(ex.Error)
+	}
+	st := s.ResultCacheStats()
+	if st.Misses != missesAfterDP+1 {
+		t.Errorf("exhaustive request after DP did not miss the cache (misses %d -> %d)", missesAfterDP, st.Misses)
+	}
+	if ex.Plans <= dp.Plans {
+		t.Errorf("exhaustive space (%d plans) not larger than the pruned DP space (%d) — cached answer leaked across strategies?",
+			ex.Plans, dp.Plans)
+	}
+
+	// Different top-k: separate entry too.
+	wide := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, TopK: server.MaxPlanTopK})
+	if wide.Error != "" {
+		t.Fatal(wide.Error)
+	}
+	if got := s.ResultCacheStats().Misses; got != st.Misses+1 {
+		t.Errorf("wide-topk request did not miss the cache (misses %d -> %d)", st.Misses, got)
+	}
+	if wide.Plans < dp.Plans {
+		t.Errorf("wide DP space (%d plans) smaller than the pruned one (%d)", wide.Plans, dp.Plans)
+	}
+	// topk spelled as the engine default normalizes onto the default's
+	// cache entry — semantically identical requests share one entry.
+	missesNow := s.ResultCacheStats().Misses
+	norm := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, TopK: 3})
+	if norm.Error != "" || norm.Plans != dp.Plans {
+		t.Errorf("explicit default topk diverged: %+v", norm)
+	}
+	if got := s.ResultCacheStats().Misses; got != missesNow {
+		t.Errorf("topk=3 (the default) recounted a miss (%d -> %d)", missesNow, got)
+	}
+
+	// Repeats of each variant hit their own entries.
+	hitsBefore := s.ResultCacheStats().Hits
+	again := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Search: "exhaustive"})
+	if again.Error != "" || again.Plans != ex.Plans || again.Winner != ex.Winner {
+		t.Errorf("cached exhaustive response diverged: %+v vs %+v", again.Winner, ex.Winner)
+	}
+	if got := s.ResultCacheStats().Hits; got != hitsBefore+1 {
+		t.Errorf("repeated exhaustive request did not hit the cache (hits %d -> %d)", hitsBefore, got)
+	}
+	// "dp" spelled explicitly shares the default's entry (same
+	// normalized options).
+	explicit := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Search: "dp"})
+	if explicit.Error != "" || explicit.Plans != dp.Plans || explicit.Winner != dp.Winner {
+		t.Errorf("explicit dp response diverged from the default: %+v vs %+v", explicit.Winner, dp.Winner)
+	}
+}
+
+// TestPlanDPOnlyScenario prices a scenario only the DP engine can
+// handle end to end over HTTP, and checks the exhaustive oracle fails
+// loudly on it rather than silently truncating.
+func TestPlanDPOnlyScenario(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	// modern-x86: small-test's 1 kB caches would blow up the big
+	// scenario's sort-pattern lowerings for no extra coverage.
+	resp, body := postJSON(t, ts.URL+"/v1/plan", server.PlanRequest{
+		Profile: "modern-x86", Scenario: "join8-chain",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DP on join8-chain: status %d: %s", resp.StatusCode, body)
+	}
+	var pr server.PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Winner.Plan == "" || pr.Plans == 0 {
+		t.Fatalf("no DP winner for join8-chain: %+v", pr)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/plan", server.PlanRequest{
+		Profile: "modern-x86", Scenario: "join8-chain", Search: "exhaustive",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("exhaustive on join8-chain: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pr.Error, "cap") {
+		t.Errorf("exhaustive error %q does not mention the plan cap", pr.Error)
+	}
+}
+
 func TestPlanErrors(t *testing.T) {
 	_, ts := newTestServer(t, server.Config{})
 	cases := []struct {
@@ -162,6 +262,17 @@ func TestPlanErrors(t *testing.T) {
 		{"invalid query", server.PlanRequest{Profile: "small-test",
 			Query: &server.PlanQuery{Relations: []server.PlanRelation{{Name: "U", Tuples: 10, Width: 16},
 				{Name: "V", Tuples: 10, Width: 16}}}}, "does not connect"},
+		{"invalid search strategy", server.PlanRequest{Profile: "small-test", Scenario: "join2-fk",
+			Search: "genetic"}, `unknown search strategy "genetic"`},
+		{"negative topk", server.PlanRequest{Profile: "small-test", Scenario: "join2-fk",
+			TopK: -1}, "pruning cannot be disabled over HTTP"},
+		{"huge topk", server.PlanRequest{Profile: "small-test", Scenario: "join2-fk",
+			TopK: server.MaxPlanTopK + 1}, "outside [0, 64]"},
+		{"duplicate edge", server.PlanRequest{Profile: "small-test",
+			Query: &server.PlanQuery{Relations: []server.PlanRelation{{Name: "U", Tuples: 10, Width: 16},
+				{Name: "V", Tuples: 10, Width: 16}},
+				Joins: []server.PlanJoin{{Left: 0, Right: 1, Selectivity: 0.1},
+					{Left: 1, Right: 0, Selectivity: 0.2}}}}, "duplicate join edge 0–1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
