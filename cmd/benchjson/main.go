@@ -16,11 +16,14 @@
 // the representative compound pattern — must show at least a 5x
 // speedup over the tree walker (the committed snapshot records ~10x,
 // leaving headroom for noisy CI runners). With -checkplan, the plan
-// search's bar is enforced instead: the DP search must beat the
-// exhaustive enumerator's wall clock on the 4-relation chain, and the
-// DP-only 7/8-relation scenarios must be present. Violations exit
-// non-zero so the bench-smoke job fails instead of silently uploading
-// a regression.
+// search's bar is enforced instead: every scenario must carry a
+// speedup — exhaustive-vs-DP on the 4-relation chain, cold-vs-warm on
+// the DP-only scenarios — and every speedup must exceed 1x. With
+// -snapshot <file>, the warm DP time of the reference scenario
+// (join8-chain) is additionally compared against the committed
+// BENCH_plan.json: past 1.25x the snapshot is a regression. Violations
+// exit non-zero so the bench-smoke job fails instead of silently
+// uploading a regression.
 package main
 
 import (
@@ -41,10 +44,18 @@ const (
 
 // Acceptance requirements enforced by -checkplan: the scenario where DP
 // must beat the exhaustive enumerator, and the DP-only scenarios that
-// must at least be present.
+// must each carry a cold-vs-warm speedup.
 const checkPlanScenario = "join4-chain"
 
-var checkPlanDPOnly = []string{"join7-star", "join8-chain"}
+var checkPlanDPOnly = []string{"join7-star", "join8-chain", "join10-star", "join12-chain"}
+
+// Snapshot regression bounds enforced by -snapshot: the reference
+// scenario's warm DP time may not exceed the committed snapshot's by
+// more than the tolerance factor.
+const (
+	snapshotScenario  = "join8-chain"
+	snapshotTolerance = 1.25
+)
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -64,13 +75,17 @@ type Speedup struct {
 	IRAllocsPerOp float64 `json:"ir_allocs_per_op"`
 }
 
-// PlanSpeedup pairs the exhaustive enumerator and the DP search on one
-// scenario. ExhaustiveNsPerOp is 0 for DP-only scenarios (the
-// exhaustive path cannot run them), and Speedup is then omitted.
+// PlanSpeedup pairs a baseline with the warm DP search on one
+// scenario: the exhaustive enumerator where it can run (join4-chain),
+// the cold-cache DP search on the DP-only scenarios. Speedup is
+// baseline over warm DP — exhaustive/dp or dpcold/dp respectively —
+// and omitted only if no baseline was measured.
 type PlanSpeedup struct {
 	Scenario          string  `json:"scenario"`
 	ExhaustiveNsPerOp float64 `json:"exhaustive_ns_per_op,omitempty"`
+	ColdNsPerOp       float64 `json:"cold_ns_per_op,omitempty"`
 	DPNsPerOp         float64 `json:"dp_ns_per_op"`
+	DPAllocsPerOp     float64 `json:"dp_allocs_per_op,omitempty"`
 	Speedup           float64 `json:"speedup,omitempty"`
 }
 
@@ -88,8 +103,11 @@ func main() {
 	check := flag.Bool("check", false,
 		"fail unless every /ir/ benchmark has 0 allocs/op and the "+checkPattern+" speedup is ≥ 5x")
 	checkPlan := flag.Bool("checkplan", false,
-		"fail unless the DP search beats the exhaustive enumerator on "+checkPlanScenario+
-			" and the DP-only scenarios are present")
+		"fail unless every plan-search scenario reports a >1x speedup over its baseline "+
+			"(exhaustive on "+checkPlanScenario+", cold cache on the DP-only scenarios)")
+	snapshot := flag.String("snapshot", "",
+		"committed BENCH_plan.json to compare against; fail if the warm DP time of "+
+			snapshotScenario+" regresses past "+fmt.Sprintf("%.2f", snapshotTolerance)+"x")
 	flag.Parse()
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -110,6 +128,12 @@ func main() {
 	}
 	if *checkPlan {
 		if err := rep.checkPlanAcceptance(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *snapshot != "" {
+		if err := rep.checkSnapshot(*snapshot); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -137,8 +161,9 @@ func (rep *Report) checkAcceptance() error {
 }
 
 // checkPlanAcceptance enforces the plan-search acceptance bar: DP
-// strictly faster than exhaustive on the reference chain, DP-only
-// scenarios measured.
+// strictly faster than exhaustive on the reference chain, and every
+// DP-only scenario measured with a >1x cold-vs-warm speedup (a warm
+// search no faster than a cold one means geometry interning broke).
 func (rep *Report) checkPlanAcceptance() error {
 	byScenario := map[string]PlanSpeedup{}
 	for _, s := range rep.PlanSearch {
@@ -153,11 +178,50 @@ func (rep *Report) checkPlanAcceptance() error {
 			checkPlanScenario, ref.Speedup)
 	}
 	for _, name := range checkPlanDPOnly {
-		if s, ok := byScenario[name]; !ok || s.DPNsPerOp <= 0 {
+		s, ok := byScenario[name]
+		if !ok || s.DPNsPerOp <= 0 {
 			return fmt.Errorf("DP-only scenario %s missing from the benchmark output", name)
+		}
+		if s.ColdNsPerOp <= 0 {
+			return fmt.Errorf("DP-only scenario %s has no cold-cache baseline (dpcold benchmark missing)", name)
+		}
+		if s.Speedup <= 1 {
+			return fmt.Errorf("warm DP search is not faster than a cold one on %s (%.2fx): geometry interning is not paying off", name, s.Speedup)
 		}
 	}
 	return nil
+}
+
+// checkSnapshot compares the reference scenario's warm DP time against
+// a committed BENCH_plan.json and fails past the tolerance factor.
+func (rep *Report) checkSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading snapshot: %w", err)
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parsing snapshot %s: %w", path, err)
+	}
+	var oldNs float64
+	for _, s := range old.PlanSearch {
+		if s.Scenario == snapshotScenario {
+			oldNs = s.DPNsPerOp
+		}
+	}
+	if oldNs <= 0 {
+		return fmt.Errorf("snapshot %s has no warm DP time for %s", path, snapshotScenario)
+	}
+	for _, s := range rep.PlanSearch {
+		if s.Scenario == snapshotScenario {
+			if s.DPNsPerOp > oldNs*snapshotTolerance {
+				return fmt.Errorf("%s warm DP search regressed: %.0f ns/op vs %.0f ns/op in the snapshot (allowed %.2fx)",
+					snapshotScenario, s.DPNsPerOp, oldNs, snapshotTolerance)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("no warm DP time for %s in the benchmark output", snapshotScenario)
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {
@@ -259,11 +323,12 @@ func speedups(benches []Benchmark) []Speedup {
 	return out
 }
 
-// planSpeedups pairs <prefix>/exhaustive/<scenario> with
-// <prefix>/dp/<scenario>, keeping DP-only scenarios as unpaired
-// entries.
+// planSpeedups pairs <prefix>/dp/<scenario> with its baseline:
+// <prefix>/exhaustive/<scenario> where present, else
+// <prefix>/dpcold/<scenario>.
 func planSpeedups(benches []Benchmark) []PlanSpeedup {
 	exhaustive := map[string]Benchmark{}
+	cold := map[string]Benchmark{}
 	dp := map[string]Benchmark{}
 	var order []string
 	suffix := func(name, sep string) (string, bool) {
@@ -277,6 +342,9 @@ func planSpeedups(benches []Benchmark) []PlanSpeedup {
 		if key, ok := suffix(b.Name, "/exhaustive/"); ok {
 			exhaustive[key] = b
 		}
+		if key, ok := suffix(b.Name, "/dpcold/"); ok {
+			cold[key] = b
+		}
 		if key, ok := suffix(b.Name, "/dp/"); ok {
 			dp[key] = b
 			order = append(order, key)
@@ -288,10 +356,13 @@ func planSpeedups(benches []Benchmark) []PlanSpeedup {
 		if db.NsPerOp <= 0 {
 			continue
 		}
-		s := PlanSpeedup{Scenario: key, DPNsPerOp: db.NsPerOp}
+		s := PlanSpeedup{Scenario: key, DPNsPerOp: db.NsPerOp, DPAllocsPerOp: db.AllocsPerOp}
 		if eb, ok := exhaustive[key]; ok && eb.NsPerOp > 0 {
 			s.ExhaustiveNsPerOp = eb.NsPerOp
 			s.Speedup = eb.NsPerOp / db.NsPerOp
+		} else if cb, ok := cold[key]; ok && cb.NsPerOp > 0 {
+			s.ColdNsPerOp = cb.NsPerOp
+			s.Speedup = cb.NsPerOp / db.NsPerOp
 		}
 		out = append(out, s)
 	}

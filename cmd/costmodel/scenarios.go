@@ -29,6 +29,7 @@ func runScenarios(args []string) {
 		search  = fs.String("search", "dp", "plan-space search: dp (memoized DP over connected subgraphs, bushy trees) or exhaustive (left-deep small-query oracle)")
 		topk    = fs.Int("topk", 0, "subplans the DP search keeps per memo bucket (0: engine default, negative: no pruning)")
 		ldeep   = fs.Bool("leftdeep", false, "restrict the DP search to left-deep join trees (bushy off)")
+		par     = fs.Int("parallelism", 0, "DP memo workers per subset-size stratum (0: one per CPU, 1: single-threaded; the ranking is identical at every setting)")
 	)
 	fs.Parse(args)
 
@@ -54,6 +55,7 @@ func runScenarios(args []string) {
 		Strategy:     scenario.SearchStrategy(*search),
 		TopK:         *topk,
 		LeftDeepOnly: *ldeep,
+		Parallelism:  *par,
 	}
 	plans, err := scenario.PricePlanSearch(h, sc.Query, so)
 	if err != nil {

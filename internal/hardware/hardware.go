@@ -232,6 +232,15 @@ func (h *Hierarchy) LevelByName(name string) (Level, bool) {
 // CyclesToNS converts CPU cycles to nanoseconds using the hierarchy clock.
 func (h *Hierarchy) CyclesToNS(cycles float64) float64 { return cycles * h.ClockNS }
 
+// Fingerprint returns a string that changes whenever any model-visible
+// parameter of the hierarchy changes. Two hierarchies with equal
+// fingerprints produce identical cost-model results, so the fingerprint
+// can key caches of model evaluations across independently constructed
+// profile values.
+func (h *Hierarchy) Fingerprint() string {
+	return fmt.Sprintf("%.9g|%+v", h.ClockNS, h.Levels)
+}
+
 // String renders the hierarchy in the shape of the paper's Table 3.
 func (h *Hierarchy) String() string {
 	var b strings.Builder

@@ -14,9 +14,9 @@ type Scenario struct {
 // Catalog returns the built-in scenarios: single-operator shapes, hash-
 // vs sort-alternative decisions, 2–4 relation join-order problems,
 // TPC-H Q1/Q3-shaped analytical pipelines, and — reachable only by the
-// DP search — a 7-relation snowflake star, an 8-relation chain, a
-// cyclic join graph and a bushy-favouring two-island query. Every
-// scenario's join graph is connected.
+// DP search — a 7-relation snowflake star, 8- and 12-relation chains, a
+// 10-relation star, a cyclic join graph and a bushy-favouring
+// two-island query. Every scenario's join graph is connected.
 func Catalog() []Scenario {
 	return []Scenario{
 		{
@@ -253,6 +253,68 @@ func Catalog() []Scenario {
 					{Left: 3, Right: 4, Selectivity: 1.0 / 45_000},
 					{Left: 4, Right: 5, Selectivity: 1.0 / 80_000},
 					{Left: 2, Right: 3, Selectivity: 1.0 / 40_000},
+				},
+			},
+		},
+		{
+			Name:        "join12-chain",
+			Description: "twelve-relation chain join, sizes doubling from 500 to 1M rows (12 relations — exercises the MaxRelations 14 DP ceiling)",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "R1", Tuples: 500, Width: 16},
+					{Name: "R2", Tuples: 1_000, Width: 16},
+					{Name: "R3", Tuples: 2_000, Width: 16},
+					{Name: "R4", Tuples: 4_000, Width: 16},
+					{Name: "R5", Tuples: 8_000, Width: 16},
+					{Name: "R6", Tuples: 16_000, Width: 16},
+					{Name: "R7", Tuples: 32_000, Width: 16},
+					{Name: "R8", Tuples: 64_000, Width: 16},
+					{Name: "R9", Tuples: 128_000, Width: 16},
+					{Name: "R10", Tuples: 256_000, Width: 16},
+					{Name: "R11", Tuples: 512_000, Width: 16},
+					{Name: "R12", Tuples: 1_024_000, Width: 16},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 1_000},
+					{Left: 1, Right: 2, Selectivity: 1.0 / 2_000},
+					{Left: 2, Right: 3, Selectivity: 1.0 / 4_000},
+					{Left: 3, Right: 4, Selectivity: 1.0 / 8_000},
+					{Left: 4, Right: 5, Selectivity: 1.0 / 16_000},
+					{Left: 5, Right: 6, Selectivity: 1.0 / 32_000},
+					{Left: 6, Right: 7, Selectivity: 1.0 / 64_000},
+					{Left: 7, Right: 8, Selectivity: 1.0 / 128_000},
+					{Left: 8, Right: 9, Selectivity: 1.0 / 256_000},
+					{Left: 9, Right: 10, Selectivity: 1.0 / 512_000},
+					{Left: 10, Right: 11, Selectivity: 1.0 / 1_024_000},
+				},
+			},
+		},
+		{
+			Name:        "join10-star",
+			Description: "a 600k-row fact table against nine dimensions of shrinking size (10 relations — the widest star the DP search prices; every subset of dimensions is a connected subgraph)",
+			Query: Query{
+				Relations: []Relation{
+					{Name: "F", Tuples: 600_000, Width: 32},
+					{Name: "D1", Tuples: 30_000, Width: 16},
+					{Name: "D2", Tuples: 15_000, Width: 16},
+					{Name: "D3", Tuples: 8_000, Width: 16},
+					{Name: "D4", Tuples: 4_000, Width: 16},
+					{Name: "D5", Tuples: 2_000, Width: 16},
+					{Name: "D6", Tuples: 1_000, Width: 16},
+					{Name: "D7", Tuples: 500, Width: 16},
+					{Name: "D8", Tuples: 250, Width: 16},
+					{Name: "D9", Tuples: 100, Width: 16},
+				},
+				Joins: []JoinEdge{
+					{Left: 0, Right: 1, Selectivity: 1.0 / 30_000},
+					{Left: 0, Right: 2, Selectivity: 1.0 / 15_000},
+					{Left: 0, Right: 3, Selectivity: 1.0 / 8_000},
+					{Left: 0, Right: 4, Selectivity: 1.0 / 4_000},
+					{Left: 0, Right: 5, Selectivity: 1.0 / 2_000},
+					{Left: 0, Right: 6, Selectivity: 1.0 / 1_000},
+					{Left: 0, Right: 7, Selectivity: 1.0 / 500},
+					{Left: 0, Right: 8, Selectivity: 1.0 / 250},
+					{Left: 0, Right: 9, Selectivity: 1.0 / 100},
 				},
 			},
 		},

@@ -1,0 +1,9 @@
+//go:build race
+
+package queryplan_test
+
+// Under the race detector every rep runs an order of magnitude slower
+// and the extra repeats add no race coverage beyond the first few, so
+// the race build trades repetition for wall-clock. The full 50-rep
+// bit-identity check runs in the standard (non-race) CI job.
+func init() { determinismReps = 3 }

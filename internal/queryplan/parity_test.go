@@ -25,6 +25,11 @@ import (
 // comfortably; every catalog scenario at or below it is checked.
 const parityRelations = 4
 
+// parityParallelism is checked at every level: the DP side of the
+// parity harness must match the exhaustive oracle whether the memo is
+// built single-threaded or by a worker pool.
+var parityParallelism = []int{1, 2, 8}
+
 func TestDPMatchesExhaustiveOracle(t *testing.T) {
 	h := hardware.Origin2000()
 	pl, err := planner.New(h)
@@ -42,28 +47,30 @@ func TestDPMatchesExhaustiveOracle(t *testing.T) {
 			if err != nil {
 				t.Fatalf("exhaustive: %v", err)
 			}
-			dp, err := pl.QueryPlansSearch(sc.Query, planner.SearchOptions{TopK: -1, LeftDeepOnly: true})
-			if err != nil {
-				t.Fatalf("dp: %v", err)
-			}
-			if len(ex) == 0 || len(dp) != len(ex) {
-				t.Fatalf("plan count: exhaustive %d, DP k=∞ left-deep %d", len(ex), len(dp))
-			}
-			if ex[0].Algorithm != dp[0].Algorithm {
-				t.Errorf("winner diverged:\n  exhaustive: %s\n  dp:         %s", ex[0].Algorithm, dp[0].Algorithm)
-			}
-			top := 5
-			if top > len(ex) {
-				top = len(ex)
-			}
-			for i := 0; i < top; i++ {
-				if ex[i].Algorithm != dp[i].Algorithm {
-					t.Errorf("ranking[%d] diverged:\n  exhaustive: %s\n  dp:         %s",
-						i, ex[i].Algorithm, dp[i].Algorithm)
+			for _, par := range parityParallelism {
+				dp, err := pl.QueryPlansSearch(sc.Query, planner.SearchOptions{TopK: -1, LeftDeepOnly: true, Parallelism: par})
+				if err != nil {
+					t.Fatalf("dp par=%d: %v", par, err)
 				}
-				if d := relDiff(ex[i].TotalNS(), dp[i].TotalNS()); d > 1e-9 {
-					t.Errorf("ranking[%d] cost diverged: exhaustive %g, dp %g (rel %g)",
-						i, ex[i].TotalNS(), dp[i].TotalNS(), d)
+				if len(ex) == 0 || len(dp) != len(ex) {
+					t.Fatalf("par=%d plan count: exhaustive %d, DP k=∞ left-deep %d", par, len(ex), len(dp))
+				}
+				if ex[0].Algorithm != dp[0].Algorithm {
+					t.Errorf("par=%d winner diverged:\n  exhaustive: %s\n  dp:         %s", par, ex[0].Algorithm, dp[0].Algorithm)
+				}
+				top := 5
+				if top > len(ex) {
+					top = len(ex)
+				}
+				for i := 0; i < top; i++ {
+					if ex[i].Algorithm != dp[i].Algorithm {
+						t.Errorf("par=%d ranking[%d] diverged:\n  exhaustive: %s\n  dp:         %s",
+							par, i, ex[i].Algorithm, dp[i].Algorithm)
+					}
+					if d := relDiff(ex[i].TotalNS(), dp[i].TotalNS()); d > 1e-9 {
+						t.Errorf("par=%d ranking[%d] cost diverged: exhaustive %g, dp %g (rel %g)",
+							par, i, ex[i].TotalNS(), dp[i].TotalNS(), d)
+					}
 				}
 			}
 		})

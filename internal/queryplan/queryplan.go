@@ -139,10 +139,12 @@ type Query struct {
 }
 
 // MaxRelations bounds the plan-space search. The DP search (dp.go)
-// memoizes connected subgraphs, so it handles this many relations
-// comfortably; the exhaustive left-deep enumerator (enumerate.go) grows
+// memoizes connected subgraphs over dense bitset-indexed strata, so it
+// handles this many relations comfortably (the memo is 2^n entries; at
+// 14 relations that is 16384 slots, and only connected subsets are ever
+// populated); the exhaustive left-deep enumerator (enumerate.go) grows
 // factorially and hits Options.MaxPlans well before the cap.
-const MaxRelations = 10
+const MaxRelations = 14
 
 // Validate checks the query's structural invariants.
 func (q Query) Validate() error {

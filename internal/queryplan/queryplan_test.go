@@ -143,7 +143,7 @@ func TestValidateGraphShapes(t *testing.T) {
 			}
 		}
 		err := q.Validate()
-		want := "queryplan: 11 relations exceeds the maximum of 10"
+		want := "queryplan: 15 relations exceeds the maximum of 14"
 		if err == nil || err.Error() != want {
 			t.Errorf("over the cap: err = %v, want %q", err, want)
 		}

@@ -37,10 +37,22 @@ type PlanRequest struct {
 	TopK int `json:"topk,omitempty"`
 	// LeftDeep restricts the DP search to left-deep join trees.
 	LeftDeep bool `json:"left_deep,omitempty"`
+	// Parallelism bounds the worker pool the DP search uses per memo
+	// stratum; 0 means the engine default (one worker per CPU). The
+	// HTTP surface caps it at MaxPlanParallelism and rejects negative
+	// values. The ranking is bit-identical at every setting — the knob
+	// trades latency for CPU, never answers.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // MaxPlanTopK is the widest DP memo the HTTP surface accepts.
 const MaxPlanTopK = 64
+
+// MaxPlanParallelism is the widest per-request DP worker pool the HTTP
+// surface accepts (requests already queue on the server's own bounded
+// worker pool; letting one request fan out further than this buys
+// nothing and starves neighbours).
+const MaxPlanParallelism = 16
 
 // DefaultPlanTop is the ranking depth returned when PlanRequest.Top is 0.
 const DefaultPlanTop = 5
@@ -145,8 +157,14 @@ func (s *Server) Plan(req PlanRequest) *PlanResponse {
 			return res
 		}
 		q = sc.Query
-		cacheKey = fmt.Sprintf("plan|v%d|%q|%s|search=%s|topk=%d|leftdeep=%t",
-			s.reg.Version(), req.Profile, req.Scenario, so.Strategy, so.TopK, so.LeftDeepOnly)
+		// Parallelism is part of the key only for audit symmetry with the
+		// other knobs: rankings are bit-identical across settings (the
+		// determinism suite locks this), so sharing entries across
+		// parallelism levels would be sound — but a knob that silently
+		// vanishes from the key is a trap for the next knob that does
+		// change answers, so every search option is keyed uniformly.
+		cacheKey = fmt.Sprintf("plan|v%d|%q|%s|search=%s|topk=%d|leftdeep=%t|par=%d",
+			s.reg.Version(), req.Profile, req.Scenario, so.Strategy, so.TopK, so.LeftDeepOnly, so.Parallelism)
 	case req.Query != nil:
 		q = queryFromWire(req.Query)
 	default:
@@ -225,6 +243,7 @@ func searchFromWire(req PlanRequest) (scenario.SearchOptions, error) {
 		Strategy:     scenario.SearchStrategy(req.Search),
 		TopK:         req.TopK,
 		LeftDeepOnly: req.LeftDeep,
+		Parallelism:  req.Parallelism,
 	}
 	switch so.Strategy {
 	case "":
@@ -241,10 +260,13 @@ func searchFromWire(req PlanRequest) (scenario.SearchOptions, error) {
 	if so.TopK == 0 {
 		so.TopK = scenario.DefaultTopK
 	}
+	if so.Parallelism < 0 || so.Parallelism > MaxPlanParallelism {
+		return so, fmt.Errorf("parallelism %d outside [0, %d]", so.Parallelism, MaxPlanParallelism)
+	}
 	if so.Strategy == scenario.SearchExhaustive {
 		// The exhaustive path ignores the DP knobs; zeroing them keeps
 		// the cache key canonical.
-		so.TopK, so.LeftDeepOnly = 0, false
+		so.TopK, so.LeftDeepOnly, so.Parallelism = 0, false, 0
 	}
 	return so, nil
 }

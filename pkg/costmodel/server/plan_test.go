@@ -268,6 +268,10 @@ func TestPlanErrors(t *testing.T) {
 			TopK: -1}, "pruning cannot be disabled over HTTP"},
 		{"huge topk", server.PlanRequest{Profile: "small-test", Scenario: "join2-fk",
 			TopK: server.MaxPlanTopK + 1}, "outside [0, 64]"},
+		{"negative parallelism", server.PlanRequest{Profile: "small-test", Scenario: "join2-fk",
+			Parallelism: -1}, "parallelism -1 outside [0, 16]"},
+		{"huge parallelism", server.PlanRequest{Profile: "small-test", Scenario: "join2-fk",
+			Parallelism: server.MaxPlanParallelism + 1}, "parallelism 17 outside [0, 16]"},
 		{"duplicate edge", server.PlanRequest{Profile: "small-test",
 			Query: &server.PlanQuery{Relations: []server.PlanRelation{{Name: "U", Tuples: 10, Width: 16},
 				{Name: "V", Tuples: 10, Width: 16}},
@@ -298,5 +302,54 @@ func TestPlanErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/plan: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPlanParallelismKnob locks the Parallelism knob's wire contract:
+// every accepted setting returns the identical ranking (the DP search
+// is deterministic across parallelism — see the determinism suite),
+// each setting occupies its own result-cache entry, and the exhaustive
+// strategy normalizes the knob away so spelled-out variants share one
+// entry.
+func TestPlanParallelismKnob(t *testing.T) {
+	s := server.New(server.Config{})
+	base := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1})
+	if base.Error != "" {
+		t.Fatal(base.Error)
+	}
+	for _, par := range []int{1, 2, server.MaxPlanParallelism} {
+		missesBefore := s.ResultCacheStats().Misses
+		got := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Parallelism: par})
+		if got.Error != "" {
+			t.Fatalf("parallelism %d: %v", par, got.Error)
+		}
+		if got.Plans != base.Plans || len(got.Ranking) != len(base.Ranking) {
+			t.Fatalf("parallelism %d: %d plans (%d ranked), default %d (%d)",
+				par, got.Plans, len(got.Ranking), base.Plans, len(base.Ranking))
+		}
+		for i := range got.Ranking {
+			if got.Ranking[i] != base.Ranking[i] {
+				t.Errorf("parallelism %d: ranking[%d] diverged: %+v vs %+v",
+					par, i, got.Ranking[i], base.Ranking[i])
+			}
+		}
+		if got := s.ResultCacheStats().Misses; got != missesBefore+1 {
+			t.Errorf("parallelism %d did not get its own cache entry (misses %d -> %d)",
+				par, missesBefore, got)
+		}
+	}
+
+	// The exhaustive path zeroes the knob: par=4 shares par-unset's entry.
+	first := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Search: "exhaustive"})
+	if first.Error != "" {
+		t.Fatal(first.Error)
+	}
+	missesNow := s.ResultCacheStats().Misses
+	second := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Search: "exhaustive", Parallelism: 4})
+	if second.Error != "" || second.Plans != first.Plans || second.Winner != first.Winner {
+		t.Errorf("exhaustive with parallelism diverged: %+v vs %+v", second.Winner, first.Winner)
+	}
+	if got := s.ResultCacheStats().Misses; got != missesNow {
+		t.Errorf("exhaustive parallelism variant recounted a miss (%d -> %d)", missesNow, got)
 	}
 }
