@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadgenSmoke drives loadgenRun end to end on a tiny workload:
+// every phase must complete, every serving counter must be consistent,
+// and the report must carry the SLO inputs (anchor cold reference and
+// warm probe). The speedup itself is asserted by CI's loadgen -check
+// run, not here — a loaded test machine shouldn't flake the suite.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real searches over HTTP")
+	}
+	rep, err := loadgenRun(loadgenConfig{
+		Profile:      "modern-x86",
+		Scenarios:    []string{"join2-fk", "join3-chain-q3"},
+		Duration:     300 * time.Millisecond,
+		RateQPS:      30,
+		InlineFrac:   0.4,
+		DriftFrac:    0.3,
+		BigDriftFrac: 0.1,
+		Seed:         7,
+		ColdIters:    1,
+		Probes:       10,
+		MinSpeedup:   100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Cold["join2-fk"].Count; got != 1 {
+		t.Errorf("cold join2-fk count = %d, want 1", got)
+	}
+	if rep.WarmProbe.Count != 10 {
+		t.Errorf("warm probe count = %d, want 10", rep.WarmProbe.Count)
+	}
+	if rep.WarmProbe.P99NS <= 0 {
+		t.Errorf("warm probe p99 = %v, want > 0", rep.WarmProbe.P99NS)
+	}
+	if rep.SLO.Anchor != "join2-fk" {
+		t.Errorf("SLO anchor = %q, want join2-fk", rep.SLO.Anchor)
+	}
+	if rep.SLO.ColdP50NS != rep.Cold["join2-fk"].P50NS {
+		t.Errorf("SLO cold p50 %v != cold reference %v", rep.SLO.ColdP50NS, rep.Cold["join2-fk"].P50NS)
+	}
+	if rep.SLO.WarmHitP99NS != rep.WarmProbe.P99NS {
+		t.Errorf("SLO warm p99 %v != probe p99 %v", rep.SLO.WarmHitP99NS, rep.WarmProbe.P99NS)
+	}
+	total := 0
+	for served, st := range rep.Served {
+		if served == "error" {
+			t.Errorf("open-loop phase produced %d request errors", st.Count)
+		}
+		total += st.Count
+	}
+	if total != rep.All.Count || total == 0 {
+		t.Errorf("served class counts sum to %d, all = %d", total, rep.All.Count)
+	}
+	if rep.HitRate < 0 || rep.HitRate > 1 {
+		t.Errorf("hit rate %v out of range", rep.HitRate)
+	}
+	// The probe hits alone guarantee a non-zero hit counter.
+	if rep.PlanCache.Hits == 0 {
+		t.Error("plan cache saw no hits")
+	}
+}

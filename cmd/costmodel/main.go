@@ -1,7 +1,7 @@
 // Command costmodel evaluates data access patterns on hardware
 // profiles using the paper's generic cost model.
 //
-// It has five subcommands:
+// It has six subcommands:
 //
 //	costmodel eval       evaluate one pattern and print per-level misses
 //	                     and the memory access time (Eq. 3.1); the
@@ -18,6 +18,10 @@
 //	costmodel serve      run the HTTP/JSON evaluation service (which
 //	                     also exposes plan, calibrate and validate
 //	                     endpoints)
+//	costmodel loadgen    drive an in-process server with an open-loop
+//	                     plan-request workload and report serving
+//	                     latencies, plan-cache hit rates and the
+//	                     committed serving SLOs (BENCH_serve.json)
 //
 // Regions are declared as name:items:width triples; the pattern uses
 // the paper's Table 2 language with (+) for ⊕ and (.) for ⊙:
@@ -60,6 +64,9 @@ func main() {
 			return
 		case "scenarios":
 			runScenarios(args[1:])
+			return
+		case "loadgen":
+			runLoadgen(args[1:])
 			return
 		case "eval":
 			args = args[1:]

@@ -2,6 +2,7 @@ package planner
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/costir"
 	"repro/internal/queryplan"
@@ -56,24 +57,42 @@ func (pl *Planner) QueryCandidates(q queryplan.Query) ([]Candidate, error) {
 // sides of a symmetric hash join — are priced identically on every
 // hierarchy, so only the first enumerated signature is kept.
 func (pl *Planner) QueryCandidatesSearch(q queryplan.Query, so SearchOptions) ([]Candidate, error) {
+	cs, err := pl.queryCandidateTrees(q, so)
+	if err != nil {
+		return nil, err
+	}
+	return cs.cands, nil
+}
+
+// candidateTrees carries deduplicated candidates alongside the plan
+// trees they were lowered from, index-aligned.
+type candidateTrees struct {
+	cands []Candidate
+	trees []*queryplan.Plan
+}
+
+func (pl *Planner) queryCandidateTrees(q queryplan.Query, so SearchOptions) (candidateTrees, error) {
 	plans, err := queryplan.Search(q, queryplan.Options{
 		CPU:        pl.cpu,
 		PruneBytes: pl.minCapacity(),
 		Search:     so,
 	}, pl.hier)
 	if err != nil {
-		return nil, err
+		return candidateTrees{}, err
 	}
-	cands := make([]Candidate, 0, len(plans))
+	cs := candidateTrees{
+		cands: make([]Candidate, 0, len(plans)),
+		trees: make([]*queryplan.Plan, 0, len(plans)),
+	}
 	seen := make(map[string]bool, len(plans))
 	for _, p := range plans {
 		pat, cpuNS, err := p.Lower(pl.cpu, pl.minCapacity())
 		if err != nil {
-			return nil, fmt.Errorf("planner: lowering plan %s: %w", p.Signature(), err)
+			return candidateTrees{}, fmt.Errorf("planner: lowering plan %s: %w", p.Signature(), err)
 		}
 		canon, err := costir.CanonicalKey(pat)
 		if err != nil {
-			return nil, fmt.Errorf("planner: canonicalizing plan %s: %w", p.Signature(), err)
+			return candidateTrees{}, fmt.Errorf("planner: canonicalizing plan %s: %w", p.Signature(), err)
 		}
 		key := fmt.Sprintf("%s|%.17g", canon, cpuNS)
 		if seen[key] {
@@ -82,11 +101,12 @@ func (pl *Planner) QueryCandidatesSearch(q queryplan.Query, so SearchOptions) ([
 		seen[key] = true
 		c, err := newCandidate(Algorithm(p.Signature()), pat, p.Fanout, cpuNS)
 		if err != nil {
-			return nil, err
+			return candidateTrees{}, err
 		}
-		cands = append(cands, c)
+		cs.cands = append(cs.cands, c)
+		cs.trees = append(cs.trees, p)
 	}
-	return cands, nil
+	return cs, nil
 }
 
 // QueryPlans enumerates (default search) and costs the physical plans
@@ -101,11 +121,68 @@ func (pl *Planner) QueryPlans(q queryplan.Query) ([]Plan, error) {
 // the surviving plans on the planner's own hierarchy, sorted cheapest
 // first — the exact phase-2 re-cost of the DP optimizer.
 func (pl *Planner) QueryPlansSearch(q queryplan.Query, so SearchOptions) ([]Plan, error) {
-	cands, err := pl.QueryCandidatesSearch(q, so)
+	costed, err := pl.QueryCostedTreesSearch(q, so)
 	if err != nil {
 		return nil, err
 	}
-	return ScoreOn(pl.hier, cands), nil
+	plans := make([]Plan, len(costed))
+	for i, ct := range costed {
+		plans[i] = ct.Plan
+	}
+	return plans, nil
+}
+
+// CostedTree pairs one costed ranking entry with the physical plan
+// tree it was lowered from — the raw material a serving-tier plan
+// cache turns into relabelable recipes (queryplan.NewRecipe).
+type CostedTree struct {
+	Plan Plan
+	Tree *queryplan.Plan
+}
+
+// QueryCostedTreesSearch is QueryPlansSearch keeping the plan trees:
+// the same search, lowering, cost-equivalence dedup and cheapest-first
+// ranking, with each entry still attached to its tree.
+func (pl *Planner) QueryCostedTreesSearch(q queryplan.Query, so SearchOptions) ([]CostedTree, error) {
+	cs, err := pl.queryCandidateTrees(q, so)
+	if err != nil {
+		return nil, err
+	}
+	costed := make([]CostedTree, len(cs.cands))
+	for i, c := range cs.cands {
+		costed[i] = CostedTree{Plan: c.PlanOn(pl.hier), Tree: cs.trees[i]}
+	}
+	sort.SliceStable(costed, func(i, j int) bool { return costed[i].Plan.TotalNS() < costed[j].Plan.TotalNS() })
+	return costed, nil
+}
+
+// ScoreQueryPlans lowers, compiles and costs the given physical plan
+// trees on the planner's own hierarchy, returning one costed Plan per
+// tree in input order — no search, no dedup, no sorting. This is the
+// plan cache's re-validation primitive: cached recipes re-bound to a
+// drifted query are re-scored here in microseconds each (the IR
+// evaluator's price) instead of re-running the plan-space search.
+func (pl *Planner) ScoreQueryPlans(trees []*queryplan.Plan) ([]Plan, error) {
+	out := make([]Plan, len(trees))
+	for i, t := range trees {
+		pat, cpuNS, err := t.Lower(pl.cpu, pl.minCapacity())
+		if err != nil {
+			return nil, fmt.Errorf("planner: lowering plan %s: %w", t.Signature(), err)
+		}
+		prog, err := costir.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("planner: compiling plan %s: %w", t.Signature(), err)
+		}
+		out[i] = Plan{
+			Algorithm: Algorithm(t.Signature()),
+			Pattern:   pat,
+			Compiled:  prog,
+			Fanout:    t.Fanout,
+			MemNS:     prog.MemoryTimeNS(pl.hier),
+			CPUNS:     cpuNS,
+		}
+	}
+	return out, nil
 }
 
 // BestQueryPlan returns the cheapest plan for q on the planner's

@@ -1,0 +1,419 @@
+package queryplan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical query fingerprinting: the identity a serving-tier plan
+// cache keys on. Two inline queries that differ only in relation
+// naming or edge order describe the same optimization problem, and a
+// query whose cardinalities or selectivities drifted still has the
+// same *shape* — the same join graph, the same operator freedoms — so
+// a cached plan skeleton for the shape can be re-bound and re-scored
+// in microseconds instead of re-running the DP search (docs/serving.md).
+//
+// Fingerprint therefore splits a query into:
+//
+//   - Canonical: a rendering of the pure structure — per-relation flag
+//     digits (sorted, has-filter, has-projection), the join graph's
+//     edge list under a canonical relabeling, and the presence of
+//     group-by / distinct / order-by. Key is its sha256.
+//   - Params: the numeric parameter vector in canonical order —
+//     per-relation tuples/width/filter/projection, per-edge
+//     selectivity, and the group or distinct count. Equal Params (and
+//     equal Key) mean the queries are identical up to relation names.
+//   - Perm: the canonical relabeling itself, mapping canonical
+//     positions back to Query.Relations indices, so a cached Recipe
+//     (recipe.go) can be re-bound to any query of the same shape.
+//
+// The relabeling is computed by iterative partition refinement
+// (1-dimensional Weisfeiler–Leman seeded with the structural flags and
+// degrees), a parameter split that orders refinement-equivalent
+// relations by their parameter vectors, and bounded
+// individualization-refinement branching over the remaining clone
+// classes, choosing the lexicographically smallest (Canonical, Params)
+// leaf. Correctness is one-sided by construction: the canonical string
+// fully determines the join graph under its labeling, so two
+// non-isomorphic shapes can never collide. The converse — isomorphic
+// queries always colliding, and drift never re-keying a shape — holds
+// on every graph 1-WL distinguishes (all trees, chains, stars, cycles,
+// and the entire catalog); on WL-hard regular graphs the branching cap
+// may split an isomorphism class, which degrades to a plan-cache miss,
+// never a wrong plan.
+
+// Fingerprint is a query's canonical identity, shape and parameters
+// split (see the package comment above).
+type Fingerprint struct {
+	// Canonical renders the query's structure under the canonical
+	// relabeling, e.g. "qp1|n=3|f=021|e=0-2,1-2|g=1|d=0|s=0".
+	Canonical string
+	// Key is the hex sha256 of Canonical — the shape cache key.
+	Key string
+	// Params is the parameter vector in canonical order: per canonical
+	// position tuples, width, effective filter selectivity and
+	// projection bytes; then one selectivity per canonical edge; then
+	// the group-by or distinct target cardinality.
+	Params []float64
+	// Perm maps canonical positions to Query.Relations indices:
+	// Perm[pos] is the relation canonical position pos refers to.
+	Perm []int
+}
+
+// SameShape reports whether two fingerprints share a shape key.
+func (f Fingerprint) SameShape(g Fingerprint) bool { return f.Key == g.Key }
+
+// maxFingerprintLeaves caps individualization-refinement branching.
+// Refinement discretizes every catalog shape (and everything else
+// 1-WL handles) with at most a handful of leaves; the cap only binds
+// on adversarial regular graphs, where exceeding it can split an
+// isomorphism class across keys — a missed cache hit, never a
+// collision.
+const maxFingerprintLeaves = 512
+
+// Fingerprint computes the query's canonical fingerprint. It validates
+// the query first and returns any validation error unchanged.
+func (q Query) Fingerprint() (Fingerprint, error) {
+	if err := q.Validate(); err != nil {
+		return Fingerprint{}, err
+	}
+	g := newFPGraph(q)
+	cells := g.refine(g.initialPartition())
+	cells = g.paramSplit(cells)
+	s := fpSearch{g: g}
+	s.search(cells)
+	sum := sha256.Sum256([]byte(s.bestRender))
+	return Fingerprint{
+		Canonical: s.bestRender,
+		Key:       hex.EncodeToString(sum[:]),
+		Params:    s.bestParams,
+		Perm:      s.bestPerm,
+	}, nil
+}
+
+// fpEdge is one join edge in original relation indices.
+type fpEdge struct {
+	l, r int
+	sel  float64
+}
+
+// fpGraph is the refinement view of a query: structure-only flags and
+// adjacency (which decide the canonical string) plus per-node
+// parameter vectors (which order otherwise-equivalent nodes).
+type fpGraph struct {
+	n     int
+	adj   [][]int
+	edges []fpEdge
+	// flags is the structural digit per node: sorted<<2 | hasFilter<<1
+	// | hasProj.
+	flags []int
+	// base is the 4-entry parameter vector per node (tuples, width,
+	// filter, projection bytes); params appends the sorted incident
+	// edge selectivities, so the parameter split separates nodes whose
+	// edge weights differ even when their base parameters agree.
+	base   [][]float64
+	params [][]float64
+
+	hasGroup, hasDistinct, sortBy bool
+	groupVal                      float64
+}
+
+func newFPGraph(q Query) *fpGraph {
+	n := len(q.Relations)
+	g := &fpGraph{
+		n:           n,
+		adj:         make([][]int, n),
+		flags:       make([]int, n),
+		base:        make([][]float64, n),
+		params:      make([][]float64, n),
+		hasGroup:    q.GroupBy > 0,
+		hasDistinct: q.Distinct > 0,
+		sortBy:      q.SortBy,
+		groupVal:    float64(q.GroupBy + q.Distinct),
+	}
+	for _, e := range q.Joins {
+		g.edges = append(g.edges, fpEdge{l: e.Left, r: e.Right, sel: e.Selectivity})
+		g.adj[e.Left] = append(g.adj[e.Left], e.Right)
+		g.adj[e.Right] = append(g.adj[e.Right], e.Left)
+	}
+	for i, r := range q.Relations {
+		f := 0
+		if r.Sorted {
+			f |= 4
+		}
+		if q.filter(i) < 1 {
+			f |= 2
+		}
+		if q.projection(i) > 0 {
+			f |= 1
+		}
+		g.flags[i] = f
+		g.base[i] = []float64{float64(r.Tuples), float64(r.Width), q.filter(i), float64(q.projection(i))}
+		p := append([]float64(nil), g.base[i]...)
+		var sels []float64
+		for _, e := range g.edges {
+			if e.l == i || e.r == i {
+				sels = append(sels, e.sel)
+			}
+		}
+		sort.Float64s(sels)
+		g.params[i] = append(p, sels...)
+	}
+	return g
+}
+
+// initialPartition groups nodes by (flags, degree), cells ordered by
+// that pair ascending — an input-order-independent seeding.
+func (g *fpGraph) initialPartition() [][]int {
+	byColor := map[[2]int][]int{}
+	for v := 0; v < g.n; v++ {
+		c := [2]int{g.flags[v], len(g.adj[v])}
+		byColor[c] = append(byColor[c], v)
+	}
+	colors := make([][2]int, 0, len(byColor))
+	for c := range byColor {
+		colors = append(colors, c)
+	}
+	sort.Slice(colors, func(i, j int) bool {
+		if colors[i][0] != colors[j][0] {
+			return colors[i][0] < colors[j][0]
+		}
+		return colors[i][1] < colors[j][1]
+	})
+	cells := make([][]int, 0, len(colors))
+	for _, c := range colors {
+		cells = append(cells, byColor[c])
+	}
+	return cells
+}
+
+// refine runs structural partition refinement to a fixpoint: each cell
+// splits by its members' neighbor counts per cell, sub-cells ordered by
+// signature. The result is the coarsest equitable partition refining
+// the input — a function of the graph and the input partition only,
+// never of relation order.
+func (g *fpGraph) refine(cells [][]int) [][]int {
+	for {
+		id := make([]int, g.n)
+		for ci, cell := range cells {
+			for _, v := range cell {
+				id[v] = ci
+			}
+		}
+		split := false
+		next := make([][]int, 0, len(cells))
+		for _, cell := range cells {
+			if len(cell) == 1 {
+				next = append(next, cell)
+				continue
+			}
+			groups := map[string][]int{}
+			var keys []string
+			for _, v := range cell {
+				cnt := make([]int, len(cells))
+				for _, u := range g.adj[v] {
+					cnt[id[u]]++
+				}
+				k := fmt.Sprint(cnt)
+				if _, ok := groups[k]; !ok {
+					keys = append(keys, k)
+				}
+				groups[k] = append(groups[k], v)
+			}
+			if len(keys) > 1 {
+				split = true
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				next = append(next, groups[k])
+			}
+		}
+		cells = next
+		if !split {
+			return cells
+		}
+	}
+}
+
+// paramSplit orders each refinement-equivalent cell by its members'
+// parameter vectors and splits it at every distinct vector,
+// re-refining structurally after each round. Nodes that remain
+// together afterwards are both structurally equivalent under
+// refinement and parameter-identical, which keeps the subsequent
+// branching cheap — and keeps the *order* of structurally
+// distinguishable cells independent of parameters, so drift cannot
+// re-key a shape refinement alone discretizes.
+func (g *fpGraph) paramSplit(cells [][]int) [][]int {
+	for {
+		split := false
+		next := make([][]int, 0, len(cells))
+		for _, cell := range cells {
+			if len(cell) == 1 {
+				next = append(next, cell)
+				continue
+			}
+			ordered := append([]int(nil), cell...)
+			sort.SliceStable(ordered, func(i, j int) bool {
+				return lessFloats(g.params[ordered[i]], g.params[ordered[j]])
+			})
+			start := 0
+			for i := 1; i <= len(ordered); i++ {
+				if i == len(ordered) || !equalFloats(g.params[ordered[i]], g.params[ordered[start]]) {
+					next = append(next, ordered[start:i])
+					if i-start < len(cell) {
+						split = true
+					}
+					start = i
+				}
+			}
+		}
+		cells = next
+		if !split {
+			return cells
+		}
+		cells = g.refine(cells)
+	}
+}
+
+// fpSearch holds the individualization-refinement state: the best
+// (render, params) leaf seen and the leaf budget.
+type fpSearch struct {
+	g          *fpGraph
+	leaves     int
+	bestRender string
+	bestParams []float64
+	bestPerm   []int
+}
+
+// search explores discrete partitions: refinement-stable cells with
+// more than one member (true clone classes — parameter-identical and
+// refinement-equivalent) are broken by individualizing each member in
+// turn. Every leaf of a clone-only search tree renders identically
+// when the clones are automorphic, so the cap almost never changes the
+// answer; when it does (WL-hard graphs) the key merely splits an
+// isomorphism class.
+func (s *fpSearch) search(cells [][]int) {
+	if s.leaves >= maxFingerprintLeaves {
+		return
+	}
+	target := -1
+	for i, c := range cells {
+		if len(c) > 1 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		s.leaves++
+		perm := make([]int, 0, s.g.n)
+		for _, c := range cells {
+			perm = append(perm, c[0])
+		}
+		render, params := s.g.render(perm)
+		if s.bestPerm == nil || render < s.bestRender ||
+			(render == s.bestRender && lessFloats(params, s.bestParams)) {
+			s.bestRender, s.bestParams, s.bestPerm = render, params, perm
+		}
+		return
+	}
+	cell := cells[target]
+	for k := range cell {
+		next := make([][]int, 0, len(cells)+1)
+		next = append(next, cells[:target]...)
+		next = append(next, []int{cell[k]})
+		rest := make([]int, 0, len(cell)-1)
+		for j, v := range cell {
+			if j != k {
+				rest = append(rest, v)
+			}
+		}
+		next = append(next, rest)
+		next = append(next, cells[target+1:]...)
+		s.search(s.g.refine(next))
+		if s.leaves >= maxFingerprintLeaves {
+			return
+		}
+	}
+}
+
+// render produces the canonical structure string and the parameter
+// vector for one complete relabeling (perm[pos] = original index).
+func (g *fpGraph) render(perm []int) (string, []float64) {
+	inv := make([]int, g.n)
+	for pos, v := range perm {
+		inv[v] = pos
+	}
+	type cEdge struct {
+		a, b int
+		sel  float64
+	}
+	edges := make([]cEdge, 0, len(g.edges))
+	for _, e := range g.edges {
+		a, b := inv[e.l], inv[e.r]
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, cEdge{a: a, b: b, sel: e.sel})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "qp1|n=%d|f=", g.n)
+	for _, v := range perm {
+		b.WriteByte('0' + byte(g.flags[v]))
+	}
+	b.WriteString("|e=")
+	for i, e := range edges {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-%d", e.a, e.b)
+	}
+	fmt.Fprintf(&b, "|g=%d|d=%d|s=%d", b2i(g.hasGroup), b2i(g.hasDistinct), b2i(g.sortBy))
+
+	params := make([]float64, 0, 4*g.n+len(edges)+1)
+	for _, v := range perm {
+		params = append(params, g.base[v]...)
+	}
+	for _, e := range edges {
+		params = append(params, e.sel)
+	}
+	params = append(params, g.groupVal)
+	return b.String(), params
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func lessFloats(a, b []float64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -154,10 +154,18 @@ func (q Query) Validate() error {
 	if len(q.Relations) > MaxRelations {
 		return fmt.Errorf("queryplan: %d relations exceeds the maximum of %d", len(q.Relations), MaxRelations)
 	}
+	names := make(map[string]bool, len(q.Relations))
 	for i, r := range q.Relations {
 		if r.Name == "" {
 			return fmt.Errorf("queryplan: relation %d has no name", i)
 		}
+		if names[r.Name] {
+			// Regions are deduplicated by name during canonicalization, so
+			// two same-named relations would silently alias one region —
+			// and name-keyed plan recipes could not tell them apart.
+			return fmt.Errorf("queryplan: duplicate relation name %q", r.Name)
+		}
+		names[r.Name] = true
 		if r.Tuples <= 0 || r.Width < engine.KeyWidth {
 			return fmt.Errorf("queryplan: relation %s: want tuples > 0 and width ≥ %d, got %d×%d",
 				r.Name, engine.KeyWidth, r.Tuples, r.Width)

@@ -53,6 +53,14 @@ type (
 	SearchOptions = queryplan.SearchOptions
 	// SearchStrategy selects the plan-space search engine.
 	SearchStrategy = queryplan.SearchStrategy
+	// Fingerprint is a query's canonical identity: an
+	// isomorphism-safe shape key plus the parameter vector in
+	// canonical order (see FingerprintQuery).
+	Fingerprint = queryplan.Fingerprint
+	// Recipe is the relabelable skeleton of one physical plan — scan
+	// leaves hold canonical relation positions, output estimates are
+	// recomputed at Bind time (see NewRecipe / BindRecipe).
+	Recipe = queryplan.Recipe
 )
 
 // The search strategies.
@@ -134,4 +142,68 @@ func BestPlanSearch(h *costmodel.Hierarchy, q Query, so SearchOptions) (costmode
 		return costmodel.Plan{}, err
 	}
 	return pl.BestQueryPlanSearch(q, so)
+}
+
+// FingerprintQuery computes q's canonical fingerprint: a shape key
+// that is stable under relation renaming, relation reordering and edge
+// reordering (isomorphic join graphs collide), with the numeric
+// parameters — cardinalities, widths, selectivities, group counts —
+// split into a separate vector in canonical order. The serving plan
+// cache keys on the shape and compares the parameters to decide
+// between a pure hit, a cheap re-validation, and a full re-search
+// (docs/serving.md). Validation errors are returned unchanged.
+func FingerprintQuery(q Query) (Fingerprint, error) { return q.Fingerprint() }
+
+// NewRecipe extracts the relabelable skeleton of a plan searched for
+// (q, fp): algorithm choices kept, names and estimates dropped.
+func NewRecipe(p *Plan, q Query, fp Fingerprint) (*Recipe, error) {
+	return queryplan.NewRecipe(p, q, fp)
+}
+
+// BindRecipe re-attaches a recipe to a query of the same shape,
+// recomputing every output estimate under that query's parameters.
+// Binding a recipe back to its own query reproduces the searched plan
+// exactly (bit-identical lowered cost).
+func BindRecipe(r *Recipe, q Query, fp Fingerprint) (*Plan, error) {
+	return r.Bind(q, fp)
+}
+
+// PricedPlan pairs one costed ranking entry with the physical plan
+// tree it was lowered from.
+type PricedPlan struct {
+	Plan costmodel.Plan
+	Tree *Plan
+}
+
+// PricePlanTreesSearch is PricePlanSearch keeping each ranking entry's
+// plan tree — the raw material for recipes: search once, extract
+// recipes from the trees, and serve future same-shape queries without
+// re-searching.
+func PricePlanTreesSearch(h *costmodel.Hierarchy, q Query, so SearchOptions) ([]PricedPlan, error) {
+	pl, err := costmodel.NewPlanner(h)
+	if err != nil {
+		return nil, err
+	}
+	costed, err := pl.QueryCostedTreesSearch(q, so)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PricedPlan, len(costed))
+	for i, ct := range costed {
+		out[i] = PricedPlan{Plan: ct.Plan, Tree: ct.Tree}
+	}
+	return out, nil
+}
+
+// RescorePlans lowers, compiles and costs the given plan trees on the
+// hierarchy, one result per tree in input order — no search, no dedup,
+// no sorting. Each call prices at IR-evaluator speed (microseconds per
+// plan), which is what makes parameter-drift re-validation of cached
+// recipes ~1000x cheaper than a DP re-search.
+func RescorePlans(h *costmodel.Hierarchy, trees []*Plan) ([]costmodel.Plan, error) {
+	pl, err := costmodel.NewPlanner(h)
+	if err != nil {
+		return nil, err
+	}
+	return pl.ScoreQueryPlans(trees)
 }

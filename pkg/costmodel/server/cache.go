@@ -7,60 +7,71 @@ import (
 
 // lruCache is a fixed-capacity least-recently-used cache — the classic
 // map + doubly-linked-list construction (the standard library has no
-// LRU and the repo takes no dependencies). The server keeps two: one
-// for evaluation results and one for compiled patterns. Stored values
-// are treated as immutable; callers copy before mutating (results) or
-// share freely (compiled programs are immutable by construction).
-type lruCache struct {
+// LRU and the repo takes no dependencies). The server keeps three: one
+// for evaluation results, one for compiled patterns, one for plan
+// rankings. Stored values are treated as immutable; callers copy before
+// mutating (results) or share freely (compiled programs and plan
+// entries are immutable by construction).
+type lruCache[V any] struct {
 	cap int
 
-	mu    sync.Mutex
-	order *list.List               // front = most recently used
-	items map[string]*list.Element // key -> element whose Value is *entry
+	mu        sync.Mutex
+	order     *list.List               // front = most recently used
+	items     map[string]*list.Element // key -> element whose Value is *entry[V]
+	evictions uint64
 }
 
-type entry struct {
+type entry[V any] struct {
 	key string
-	val any
+	val V
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
 		cap:   capacity,
 		order: list.New(),
 		items: make(map[string]*list.Element, capacity),
 	}
 }
 
-func (c *lruCache) get(key string) (any, bool) {
+func (c *lruCache[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	return el.Value.(*entry[V]).val, true
 }
 
-func (c *lruCache) put(key string, val any) {
+func (c *lruCache[V]) put(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).val = val
+		el.Value.(*entry[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&entry{key: key, val: val})
+	c.items[key] = c.order.PushFront(&entry[V]{key: key, val: val})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+		c.evictions++
 	}
 }
 
-func (c *lruCache) len() int {
+func (c *lruCache[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// evicted returns the cumulative number of capacity evictions.
+func (c *lruCache[V]) evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

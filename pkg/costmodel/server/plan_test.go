@@ -31,7 +31,11 @@ type goldenCorpusFile struct {
 // every catalog entry.
 func TestPlanMatchesGoldenCorpus(t *testing.T) {
 	const profile = "origin2000"
-	s := server.New(server.Config{})
+	// Plan cache off: the catalog contains shape-isomorphic scenario
+	// pairs (join2-fk/join2-large, distinct-dense/distinct-sparse), and
+	// this test's contract is that every scenario is priced by a real
+	// search, not served through another scenario's cached entry.
+	s := server.New(server.Config{PlanCacheSize: -1})
 	for _, sc := range scenario.Catalog() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
@@ -116,7 +120,7 @@ func TestPlanHTTPRoundTrip(t *testing.T) {
 }
 
 // TestPlanScenarioMemoized checks that a repeated (profile, scenario)
-// request is served from the result cache with an identical ranking.
+// request is served from the plan cache with an identical ranking.
 func TestPlanScenarioMemoized(t *testing.T) {
 	s := server.New(server.Config{})
 	req := server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1}
@@ -124,14 +128,23 @@ func TestPlanScenarioMemoized(t *testing.T) {
 	if first.Error != "" {
 		t.Fatal(first.Error)
 	}
-	misses := s.ResultCacheStats().Misses
+	if first.Served != server.PlanServedSearch {
+		t.Errorf("first request served %q, want %q", first.Served, server.PlanServedSearch)
+	}
+	if first.Shape == "" {
+		t.Error("response carries no shape fingerprint")
+	}
+	misses := s.PlanCacheStats().Misses
 	second := s.Plan(req)
 	if second.Error != "" {
 		t.Fatal(second.Error)
 	}
-	st := s.ResultCacheStats()
+	if second.Served != server.PlanServedCache {
+		t.Errorf("repeat served %q, want %q", second.Served, server.PlanServedCache)
+	}
+	st := s.PlanCacheStats()
 	if st.Hits == 0 {
-		t.Error("repeated scenario request did not hit the result cache")
+		t.Error("repeated scenario request did not hit the plan cache")
 	}
 	if st.Misses != misses {
 		t.Errorf("repeated scenario request recounted a miss (%d -> %d)", misses, st.Misses)
@@ -146,7 +159,7 @@ func TestPlanScenarioMemoized(t *testing.T) {
 	}
 }
 
-// TestPlanCacheKeyedOnSearchOptions locks the result-cache key's search
+// TestPlanCacheKeyedOnSearchOptions locks the plan-cache key's search
 // dimensions: the same (profile, scenario) under different search
 // options must be computed separately — a DP ranking leaking into an
 // exhaustive request (or across top-k settings) would silently serve
@@ -157,13 +170,13 @@ func TestPlanCacheKeyedOnSearchOptions(t *testing.T) {
 	if dp.Error != "" {
 		t.Fatal(dp.Error)
 	}
-	missesAfterDP := s.ResultCacheStats().Misses
+	missesAfterDP := s.PlanCacheStats().Misses
 
 	ex := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Search: "exhaustive"})
 	if ex.Error != "" {
 		t.Fatal(ex.Error)
 	}
-	st := s.ResultCacheStats()
+	st := s.PlanCacheStats()
 	if st.Misses != missesAfterDP+1 {
 		t.Errorf("exhaustive request after DP did not miss the cache (misses %d -> %d)", missesAfterDP, st.Misses)
 	}
@@ -177,7 +190,7 @@ func TestPlanCacheKeyedOnSearchOptions(t *testing.T) {
 	if wide.Error != "" {
 		t.Fatal(wide.Error)
 	}
-	if got := s.ResultCacheStats().Misses; got != st.Misses+1 {
+	if got := s.PlanCacheStats().Misses; got != st.Misses+1 {
 		t.Errorf("wide-topk request did not miss the cache (misses %d -> %d)", st.Misses, got)
 	}
 	if wide.Plans < dp.Plans {
@@ -185,22 +198,22 @@ func TestPlanCacheKeyedOnSearchOptions(t *testing.T) {
 	}
 	// topk spelled as the engine default normalizes onto the default's
 	// cache entry — semantically identical requests share one entry.
-	missesNow := s.ResultCacheStats().Misses
+	missesNow := s.PlanCacheStats().Misses
 	norm := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, TopK: 3})
 	if norm.Error != "" || norm.Plans != dp.Plans {
 		t.Errorf("explicit default topk diverged: %+v", norm)
 	}
-	if got := s.ResultCacheStats().Misses; got != missesNow {
+	if got := s.PlanCacheStats().Misses; got != missesNow {
 		t.Errorf("topk=3 (the default) recounted a miss (%d -> %d)", missesNow, got)
 	}
 
 	// Repeats of each variant hit their own entries.
-	hitsBefore := s.ResultCacheStats().Hits
+	hitsBefore := s.PlanCacheStats().Hits
 	again := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Search: "exhaustive"})
 	if again.Error != "" || again.Plans != ex.Plans || again.Winner != ex.Winner {
 		t.Errorf("cached exhaustive response diverged: %+v vs %+v", again.Winner, ex.Winner)
 	}
-	if got := s.ResultCacheStats().Hits; got != hitsBefore+1 {
+	if got := s.PlanCacheStats().Hits; got != hitsBefore+1 {
 		t.Errorf("repeated exhaustive request did not hit the cache (hits %d -> %d)", hitsBefore, got)
 	}
 	// "dp" spelled explicitly shares the default's entry (same
@@ -308,7 +321,7 @@ func TestPlanErrors(t *testing.T) {
 // TestPlanParallelismKnob locks the Parallelism knob's wire contract:
 // every accepted setting returns the identical ranking (the DP search
 // is deterministic across parallelism — see the determinism suite),
-// each setting occupies its own result-cache entry, and the exhaustive
+// each setting occupies its own plan-cache entry, and the exhaustive
 // strategy normalizes the knob away so spelled-out variants share one
 // entry.
 func TestPlanParallelismKnob(t *testing.T) {
@@ -318,7 +331,7 @@ func TestPlanParallelismKnob(t *testing.T) {
 		t.Fatal(base.Error)
 	}
 	for _, par := range []int{1, 2, server.MaxPlanParallelism} {
-		missesBefore := s.ResultCacheStats().Misses
+		missesBefore := s.PlanCacheStats().Misses
 		got := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Parallelism: par})
 		if got.Error != "" {
 			t.Fatalf("parallelism %d: %v", par, got.Error)
@@ -333,7 +346,7 @@ func TestPlanParallelismKnob(t *testing.T) {
 					par, i, got.Ranking[i], base.Ranking[i])
 			}
 		}
-		if got := s.ResultCacheStats().Misses; got != missesBefore+1 {
+		if got := s.PlanCacheStats().Misses; got != missesBefore+1 {
 			t.Errorf("parallelism %d did not get its own cache entry (misses %d -> %d)",
 				par, missesBefore, got)
 		}
@@ -344,12 +357,12 @@ func TestPlanParallelismKnob(t *testing.T) {
 	if first.Error != "" {
 		t.Fatal(first.Error)
 	}
-	missesNow := s.ResultCacheStats().Misses
+	missesNow := s.PlanCacheStats().Misses
 	second := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1, Search: "exhaustive", Parallelism: 4})
 	if second.Error != "" || second.Plans != first.Plans || second.Winner != first.Winner {
 		t.Errorf("exhaustive with parallelism diverged: %+v vs %+v", second.Winner, first.Winner)
 	}
-	if got := s.ResultCacheStats().Misses; got != missesNow {
+	if got := s.PlanCacheStats().Misses; got != missesNow {
 		t.Errorf("exhaustive parallelism variant recounted a miss (%d -> %d)", missesNow, got)
 	}
 }

@@ -1,0 +1,297 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/pkg/costmodel"
+	"repro/pkg/costmodel/scenario"
+	"repro/pkg/costmodel/server"
+)
+
+// join2Query is an inline spelling of a 2-relation FK join (the
+// join2-fk shape) with controllable names and parameters.
+func join2Query(nameA, nameB string, tuplesA, tuplesB int64, sel float64) *server.PlanQuery {
+	return &server.PlanQuery{
+		Relations: []server.PlanRelation{
+			{Name: nameA, Tuples: tuplesA, Width: 16},
+			{Name: nameB, Tuples: tuplesB, Width: 32},
+		},
+		Joins: []server.PlanJoin{{Left: 0, Right: 1, Selectivity: sel}},
+	}
+}
+
+// TestPlanInlineQueryCached locks the satellite fix: inline queries —
+// not just catalog scenarios — are served through the plan cache, and a
+// renamed, reordered isomorph hits the same entry with its signatures
+// re-rendered under its own relation names.
+func TestPlanInlineQueryCached(t *testing.T) {
+	s := server.New(server.Config{})
+	req := server.PlanRequest{Profile: "small-test", Top: -1,
+		Query: join2Query("orders", "customers", 100_000, 5_000, 1.0/5_000)}
+	first := s.Plan(req)
+	if first.Error != "" {
+		t.Fatal(first.Error)
+	}
+	if first.Served != server.PlanServedSearch {
+		t.Errorf("first inline request served %q, want %q", first.Served, server.PlanServedSearch)
+	}
+
+	// Exact repeat: pure hit, identical response.
+	second := s.Plan(req)
+	if second.Error != "" {
+		t.Fatal(second.Error)
+	}
+	if second.Served != server.PlanServedCache {
+		t.Errorf("repeated inline request served %q, want %q", second.Served, server.PlanServedCache)
+	}
+	if st := s.PlanCacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("after one repeat: hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	if first.Winner != second.Winner || first.Plans != second.Plans {
+		t.Errorf("cached inline response diverged: %+v vs %+v", first.Winner, second.Winner)
+	}
+
+	// The same query with relations renamed AND listed in the other
+	// order: same shape, same parameters — a cache hit whose plan
+	// signatures carry the new names.
+	renamed := s.Plan(server.PlanRequest{Profile: "small-test", Top: -1,
+		Query: &server.PlanQuery{
+			Relations: []server.PlanRelation{
+				{Name: "cust", Tuples: 5_000, Width: 32},
+				{Name: "ord", Tuples: 100_000, Width: 16},
+			},
+			Joins: []server.PlanJoin{{Left: 1, Right: 0, Selectivity: 1.0 / 5_000}},
+		}})
+	if renamed.Error != "" {
+		t.Fatal(renamed.Error)
+	}
+	if renamed.Served != server.PlanServedCache {
+		t.Errorf("renamed isomorph served %q, want %q", renamed.Served, server.PlanServedCache)
+	}
+	if renamed.Shape != first.Shape {
+		t.Errorf("renamed isomorph re-keyed: %s vs %s", renamed.Shape, first.Shape)
+	}
+	if st := s.PlanCacheStats(); st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("after renamed hit: hits=%d misses=%d, want 2/1", st.Hits, st.Misses)
+	}
+	if renamed.Winner.TotalNS != first.Winner.TotalNS || renamed.Plans != first.Plans {
+		t.Errorf("renamed isomorph costs diverged: %+v vs %+v", renamed.Winner, first.Winner)
+	}
+	if strings.Contains(renamed.Winner.Plan, "orders") || !strings.Contains(renamed.Winner.Plan, "ord") {
+		t.Errorf("renamed isomorph's winner %q not re-rendered with its own names", renamed.Winner.Plan)
+	}
+	for i := range renamed.Ranking {
+		if renamed.Ranking[i].TotalNS != first.Ranking[i].TotalNS {
+			t.Errorf("renamed ranking[%d] cost %g != %g", i, renamed.Ranking[i].TotalNS, first.Ranking[i].TotalNS)
+		}
+	}
+}
+
+// TestPlanCacheRevalidation locks the parameter-drift protocol: a
+// small drift that keeps the cached winner on top is served through the
+// cheap re-validation path (recipes re-bound + IR re-scored, counter
+// asserted), with costs identical to what a fresh search would produce
+// for the drifted query.
+func TestPlanCacheRevalidation(t *testing.T) {
+	s := server.New(server.Config{})
+	warm := s.Plan(server.PlanRequest{Profile: "small-test", Top: -1,
+		Query: join2Query("O", "C", 100_000, 5_000, 1.0/5_000)})
+	if warm.Error != "" {
+		t.Fatal(warm.Error)
+	}
+
+	// Nudge the fact-table cardinality by 1%: same shape, drifted
+	// parameters, same winner.
+	drifted := server.PlanRequest{Profile: "small-test", Top: -1,
+		Query: join2Query("O", "C", 101_000, 5_000, 1.0/5_000)}
+	res := s.Plan(drifted)
+	if res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	if res.Served != server.PlanServedRevalidated {
+		t.Fatalf("drifted request served %q, want %q", res.Served, server.PlanServedRevalidated)
+	}
+	st := s.PlanCacheStats()
+	if st.Revalidations != 1 || st.RevalidationMisses != 0 {
+		t.Errorf("revalidations=%d revalidation_misses=%d, want 1/0", st.Revalidations, st.RevalidationMisses)
+	}
+	if res.Shape != warm.Shape {
+		t.Errorf("drift re-keyed the shape: %s vs %s", res.Shape, warm.Shape)
+	}
+
+	// The re-validated answer must price the drifted query exactly as a
+	// fresh search would (the IR evaluator is the search's own phase-2
+	// scorer).
+	ref := server.New(server.Config{PlanCacheSize: -1}).Plan(drifted)
+	if ref.Error != "" {
+		t.Fatal(ref.Error)
+	}
+	if res.Winner.Plan != ref.Winner.Plan {
+		t.Errorf("revalidated winner %q != searched winner %q", res.Winner.Plan, ref.Winner.Plan)
+	}
+	if res.Winner.TotalNS != ref.Winner.TotalNS {
+		t.Errorf("revalidated winner cost %g != searched %g", res.Winner.TotalNS, ref.Winner.TotalNS)
+	}
+
+	// The entry is not re-anchored by a revalidation: the original
+	// parameters still hit purely.
+	back := s.Plan(server.PlanRequest{Profile: "small-test", Top: -1,
+		Query: join2Query("O", "C", 100_000, 5_000, 1.0/5_000)})
+	if back.Served != server.PlanServedCache {
+		t.Errorf("original parameters after a drift served %q, want %q", back.Served, server.PlanServedCache)
+	}
+}
+
+// TestPlanCacheWinnerFlip locks the fallback: a drift large enough to
+// dethrone the cached winner triggers a full re-search that returns the
+// drifted query's own correct winner (and replaces the entry).
+func TestPlanCacheWinnerFlip(t *testing.T) {
+	s := server.New(server.Config{})
+	// The catalog's join2-fk and join2-large scenarios are
+	// shape-isomorphic with different winners on origin2000 (hash join
+	// vs partitioned hash join) — exactly the drift-flips-the-winner
+	// case.
+	fk := s.Plan(server.PlanRequest{Profile: "origin2000", Scenario: "join2-fk", Top: -1})
+	if fk.Error != "" {
+		t.Fatal(fk.Error)
+	}
+	large := s.Plan(server.PlanRequest{Profile: "origin2000", Scenario: "join2-large", Top: -1})
+	if large.Error != "" {
+		t.Fatal(large.Error)
+	}
+	if fk.Shape != large.Shape {
+		t.Fatalf("join2-fk and join2-large no longer share a shape (%s vs %s)", fk.Shape, large.Shape)
+	}
+	if large.Served != server.PlanServedSearch {
+		t.Errorf("winner-flipping drift served %q, want %q (full re-search)", large.Served, server.PlanServedSearch)
+	}
+	st := s.PlanCacheStats()
+	if st.RevalidationMisses != 1 {
+		t.Errorf("revalidation_misses=%d, want 1", st.RevalidationMisses)
+	}
+
+	// The full search's answer matches an uncached server's.
+	ref := server.New(server.Config{PlanCacheSize: -1}).Plan(
+		server.PlanRequest{Profile: "origin2000", Scenario: "join2-large", Top: -1})
+	if large.Winner != ref.Winner || large.Plans != ref.Plans {
+		t.Errorf("post-flip answer diverged from a fresh search: %+v vs %+v", large.Winner, ref.Winner)
+	}
+	if large.Winner.Plan == fk.Winner.Plan {
+		t.Errorf("join2-large was served join2-fk's winner %q", fk.Winner.Plan)
+	}
+
+	// The re-search replaced the entry: repeating join2-large is now a
+	// pure hit, and join2-fk drifts back through revalidation/search.
+	again := s.Plan(server.PlanRequest{Profile: "origin2000", Scenario: "join2-large", Top: -1})
+	if again.Served != server.PlanServedCache || again.Winner != large.Winner {
+		t.Errorf("repeat after re-search served %q with %+v", again.Served, again.Winner)
+	}
+}
+
+// TestPlanCacheRegistryInvalidation: re-registering a profile bumps the
+// registry version, which re-keys every cached entry — a stale ranking
+// priced on the old hierarchy can never be served against the new one.
+func TestPlanCacheRegistryInvalidation(t *testing.T) {
+	reg := costmodel.NewRegistry()
+	s := server.New(server.Config{Registry: reg})
+	req := server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1}
+	if res := s.Plan(req); res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	if res := s.Plan(req); res.Served != server.PlanServedCache {
+		t.Fatalf("repeat before re-registration served %q", res.Served)
+	}
+
+	// Re-register the profile (same hierarchy — the version bump alone
+	// must invalidate).
+	h, err := reg.Profile("small-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterHierarchy("small-test", h); err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := s.PlanCacheStats().Misses
+	res := s.Plan(req)
+	if res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	if res.Served != server.PlanServedSearch {
+		t.Errorf("request after re-registration served %q, want %q", res.Served, server.PlanServedSearch)
+	}
+	if got := s.PlanCacheStats().Misses; got != missesBefore+1 {
+		t.Errorf("re-registration did not invalidate (misses %d -> %d)", missesBefore, got)
+	}
+}
+
+// TestPlanCacheEvictions: a capacity-1 plan cache evicts on the second
+// distinct shape and reports it in the stats (and on /healthz via
+// PlanCacheStats).
+func TestPlanCacheEvictions(t *testing.T) {
+	s := server.New(server.Config{PlanCacheSize: 1})
+	if res := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk"}); res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	if res := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join3-chain-q3"}); res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	st := s.PlanCacheStats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Errorf("evictions=%d entries=%d, want 1/1", st.Evictions, st.Entries)
+	}
+}
+
+// TestPlanCacheDisabled: a negative PlanCacheSize turns the cache off —
+// every request is a fresh search and no counters move.
+func TestPlanCacheDisabled(t *testing.T) {
+	s := server.New(server.Config{PlanCacheSize: -1})
+	req := server.PlanRequest{Profile: "small-test", Scenario: "join2-fk"}
+	for i := 0; i < 2; i++ {
+		res := s.Plan(req)
+		if res.Error != "" {
+			t.Fatal(res.Error)
+		}
+		if res.Served != server.PlanServedSearch {
+			t.Errorf("request %d with cache disabled served %q", i, res.Served)
+		}
+	}
+	if st := s.PlanCacheStats(); st != (server.PlanCacheStats{}) {
+		t.Errorf("disabled cache moved counters: %+v", st)
+	}
+}
+
+// TestPlanScenarioInlineShareShape: an inline spelling of a catalog
+// scenario's query shares the scenario's cache entry — the cache is
+// keyed by shape, not by how the query arrived.
+func TestPlanScenarioInlineShareShape(t *testing.T) {
+	sc, ok := scenario.ByName("join2-fk")
+	if !ok {
+		t.Fatal("join2-fk missing from the catalog")
+	}
+	s := server.New(server.Config{})
+	first := s.Plan(server.PlanRequest{Profile: "small-test", Scenario: "join2-fk", Top: -1})
+	if first.Error != "" {
+		t.Fatal(first.Error)
+	}
+
+	pq := &server.PlanQuery{GroupBy: sc.Query.GroupBy, Distinct: sc.Query.Distinct, SortBy: sc.Query.SortBy,
+		Filters: sc.Query.Filters, Projections: sc.Query.Projections}
+	for _, r := range sc.Query.Relations {
+		pq.Relations = append(pq.Relations, server.PlanRelation{
+			Name: r.Name, Tuples: r.Tuples, Width: r.Width, Sorted: r.Sorted})
+	}
+	for _, j := range sc.Query.Joins {
+		pq.Joins = append(pq.Joins, server.PlanJoin{Left: j.Left, Right: j.Right, Selectivity: j.Selectivity})
+	}
+	inline := s.Plan(server.PlanRequest{Profile: "small-test", Query: pq, Top: -1})
+	if inline.Error != "" {
+		t.Fatal(inline.Error)
+	}
+	if inline.Served != server.PlanServedCache {
+		t.Errorf("inline spelling served %q, want %q", inline.Served, server.PlanServedCache)
+	}
+	if inline.Winner != first.Winner || inline.Plans != first.Plans {
+		t.Errorf("inline spelling diverged: %+v vs %+v", inline.Winner, first.Winner)
+	}
+}

@@ -49,6 +49,11 @@ type Config struct {
 	// patterns; 0 means DefaultCompileCacheSize, negative disables the
 	// compile cache (every evaluation re-compiles).
 	CompileCacheSize int
+	// PlanCacheSize is the maximum number of cached plan-search results
+	// (keyed by query shape fingerprint; see plan.go); 0 means
+	// DefaultPlanCacheSize, negative disables the plan cache (every
+	// /v1/plan request re-searches).
+	PlanCacheSize int
 }
 
 // DefaultCacheSize is the result-cache capacity used when
@@ -61,6 +66,13 @@ const DefaultCacheSize = 4096
 // serves every hardware profile a pattern is evaluated on.
 const DefaultCompileCacheSize = 1024
 
+// DefaultPlanCacheSize is the plan-cache capacity used when
+// Config.PlanCacheSize is 0. Plan entries are keyed by query *shape*
+// (the canonical join-graph fingerprint), so a serving workload of
+// parameterized queries collapses onto a handful of entries; the
+// capacity mainly bounds adversarial shape churn.
+const DefaultPlanCacheSize = 512
+
 // MaxBatchRequests bounds the number of evaluations in one batch
 // request. A batch beyond the bound is rejected outright (never
 // silently truncated): one request must not monopolize the worker pool
@@ -71,17 +83,26 @@ const MaxBatchRequests = 4096
 type Server struct {
 	reg   *costmodel.Registry
 	sem   chan struct{}
-	cache *lruCache
+	cache *lruCache[*EvalResult]
 	// compileCache interns compiled patterns by canonical form, so
 	// batch requests and repeated evaluations across different
 	// profiles share compilation work (the result cache above only
 	// hits on exact pattern+profile pairs).
-	compileCache  *lruCache
+	compileCache  *lruCache[*costmodel.CompiledPattern]
 	compileHits   atomic.Uint64
 	compileMisses atomic.Uint64
 	resultHits    atomic.Uint64
 	resultMisses  atomic.Uint64
-	calib         *calibJobs
+	// planCache memoizes /v1/plan search results by query shape
+	// fingerprint (plan.go); revalidations count cached entries served
+	// after a cheap parameter-drift re-score, revalMisses count drifts
+	// where the cached winner lost and a full re-search ran.
+	planCache         *lruCache[*planEntry]
+	planHits          atomic.Uint64
+	planMisses        atomic.Uint64
+	planRevalidations atomic.Uint64
+	planRevalMisses   atomic.Uint64
+	calib             *calibJobs
 	// validating single-flights GET /v1/validate: one sweep already
 	// saturates its own worker pool, so concurrent sweeps would only
 	// multiply simulator memory and defeat the Workers bound.
@@ -107,23 +128,32 @@ func New(cfg Config) *Server {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
-	var cache *lruCache
+	var cache *lruCache[*EvalResult]
 	if size > 0 {
-		cache = newLRUCache(size)
+		cache = newLRUCache[*EvalResult](size)
 	}
 	csize := cfg.CompileCacheSize
 	if csize == 0 {
 		csize = DefaultCompileCacheSize
 	}
-	var ccache *lruCache
+	var ccache *lruCache[*costmodel.CompiledPattern]
 	if csize > 0 {
-		ccache = newLRUCache(csize)
+		ccache = newLRUCache[*costmodel.CompiledPattern](csize)
+	}
+	psize := cfg.PlanCacheSize
+	if psize == 0 {
+		psize = DefaultPlanCacheSize
+	}
+	var pcache *lruCache[*planEntry]
+	if psize > 0 {
+		pcache = newLRUCache[*planEntry](psize)
 	}
 	return &Server{
 		reg:          reg,
 		sem:          make(chan struct{}, workers),
 		cache:        cache,
 		compileCache: ccache,
+		planCache:    pcache,
 		calib:        newCalibJobs(),
 		validating:   make(chan struct{}, 1),
 		calibrating:  make(chan struct{}, 1),
@@ -327,7 +357,7 @@ func (s *Server) Evaluate(req EvalRequest) *EvalResult {
 	res, cached := (*EvalResult)(nil), false
 	if s.cache != nil {
 		if hit, ok := s.cache.get(key); ok {
-			res, cached = hit.(*EvalResult).clone(), true
+			res, cached = hit.clone(), true
 			res.Pattern = p.String()
 			s.resultHits.Add(1)
 		}
@@ -360,7 +390,7 @@ func (s *Server) compile(canon string, p costmodel.Pattern) (*costmodel.Compiled
 	if s.compileCache != nil {
 		if hit, ok := s.compileCache.get(canon); ok {
 			s.compileHits.Add(1)
-			return hit.(*costmodel.CompiledPattern), nil
+			return hit, nil
 		}
 	}
 	s.compileMisses.Add(1)
@@ -471,19 +501,30 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	cc := s.CompileCacheStats()
 	rc := s.ResultCacheStats()
+	pc := s.PlanCacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"profiles": len(s.reg.Names()),
 		"workers":  cap(s.sem),
 		"compile_cache": map[string]any{
-			"hits":    cc.Hits,
-			"misses":  cc.Misses,
-			"entries": cc.Entries,
+			"hits":      cc.Hits,
+			"misses":    cc.Misses,
+			"entries":   cc.Entries,
+			"evictions": cc.Evictions,
 		},
 		"result_cache": map[string]any{
-			"hits":    rc.Hits,
-			"misses":  rc.Misses,
-			"entries": rc.Entries,
+			"hits":      rc.Hits,
+			"misses":    rc.Misses,
+			"entries":   rc.Entries,
+			"evictions": rc.Evictions,
+		},
+		"plan_cache": map[string]any{
+			"hits":                pc.Hits,
+			"misses":              pc.Misses,
+			"revalidations":       pc.Revalidations,
+			"revalidation_misses": pc.RevalidationMisses,
+			"entries":             pc.Entries,
+			"evictions":           pc.Evictions,
 		},
 	})
 }
@@ -500,9 +541,10 @@ func (s *Server) CacheLen() int {
 // CompileCacheStats reports the compile cache's cumulative hit/miss
 // counters and current entry count (also exposed on /healthz).
 type CompileCacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Entries   int    `json:"entries"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // CompileCacheStats returns the compile cache counters.
@@ -513,6 +555,7 @@ func (s *Server) CompileCacheStats() CompileCacheStats {
 	}
 	if s.compileCache != nil {
 		st.Entries = s.compileCache.len()
+		st.Evictions = s.compileCache.evicted()
 	}
 	return st
 }
@@ -522,9 +565,10 @@ func (s *Server) CompileCacheStats() CompileCacheStats {
 // count any request answered from a memoized result — including a
 // differently spelled but canonically equivalent pattern.
 type ResultCacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Entries   int    `json:"entries"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // ResultCacheStats returns the result cache counters.
@@ -535,6 +579,39 @@ func (s *Server) ResultCacheStats() ResultCacheStats {
 	}
 	if s.cache != nil {
 		st.Entries = s.cache.len()
+		st.Evictions = s.cache.evicted()
+	}
+	return st
+}
+
+// PlanCacheStats reports the shape-keyed plan cache's cumulative
+// counters and current entry count (also exposed on /healthz).
+// Hits count requests served straight from a cached ranking (same
+// shape, same parameters, possibly renamed relations); Revalidations
+// count parameter-drifted requests served after re-scoring the cached
+// candidate recipes with the IR evaluator; RevalidationMisses count
+// drifts where the cached winner lost the top spot and a full
+// plan-space re-search ran instead.
+type PlanCacheStats struct {
+	Hits               uint64 `json:"hits"`
+	Misses             uint64 `json:"misses"`
+	Revalidations      uint64 `json:"revalidations"`
+	RevalidationMisses uint64 `json:"revalidation_misses"`
+	Entries            int    `json:"entries"`
+	Evictions          uint64 `json:"evictions"`
+}
+
+// PlanCacheStats returns the plan cache counters.
+func (s *Server) PlanCacheStats() PlanCacheStats {
+	st := PlanCacheStats{
+		Hits:               s.planHits.Load(),
+		Misses:             s.planMisses.Load(),
+		Revalidations:      s.planRevalidations.Load(),
+		RevalidationMisses: s.planRevalMisses.Load(),
+	}
+	if s.planCache != nil {
+		st.Entries = s.planCache.len()
+		st.Evictions = s.planCache.evicted()
 	}
 	return st
 }
