@@ -24,6 +24,12 @@
 // BENCH_plan.json: past 1.25x the snapshot is a regression. Violations
 // exit non-zero so the bench-smoke job fails instead of silently
 // uploading a regression.
+//
+// -checkvalidate <file> is a standalone mode (nothing read from
+// stdin): it opens a committed BENCH_validate.json and asserts the
+// analytical-backend contract — backend "analytical", a cross-check
+// section present with every operator inside its committed tolerance,
+// and the analytical-vs-trace speedup at or above 10x.
 package main
 
 import (
@@ -108,7 +114,18 @@ func main() {
 	snapshot := flag.String("snapshot", "",
 		"committed BENCH_plan.json to compare against; fail if the warm DP time of "+
 			snapshotScenario+" regresses past "+fmt.Sprintf("%.2f", snapshotTolerance)+"x")
+	checkValidate := flag.String("checkvalidate", "",
+		"standalone mode: check a committed BENCH_validate.json (analytical backend, "+
+			"passing cross-check, ≥10x speedup) and exit; stdin is not read")
 	flag.Parse()
+	if *checkValidate != "" {
+		if err := checkValidateFile(*checkValidate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s passes the analytical-backend contract\n", *checkValidate)
+		return
+	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -222,6 +239,66 @@ func (rep *Report) checkSnapshot(path string) error {
 		}
 	}
 	return fmt.Errorf("no warm DP time for %s in the benchmark output", snapshotScenario)
+}
+
+// validateMinSpeedup mirrors the floor `costmodel validate -check`
+// enforces when it writes the file; checking it again here keeps the
+// committed artifact honest even if it was hand-edited.
+const validateMinSpeedup = 10.0
+
+// checkValidateFile asserts the analytical-backend contract on a
+// committed BENCH_validate.json: the sweep was measured analytically,
+// a cross-check against the trace oracle is present and passing for
+// every operator, and the recorded speedup clears the committed floor.
+func checkValidateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading validation snapshot: %w", err)
+	}
+	var rep struct {
+		Backend    string `json:"backend"`
+		Operators  []any  `json:"operators"`
+		CrossCheck *struct {
+			Speedup   float64 `json:"speedup"`
+			Pass      bool    `json:"pass"`
+			Operators []struct {
+				Operator         string  `json:"operator"`
+				MeanDisagreement float64 `json:"mean_disagreement"`
+				Tolerance        float64 `json:"tolerance"`
+				Pass             bool    `json:"pass"`
+			} `json:"operators"`
+		} `json:"cross_check"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if rep.Backend != "analytical" {
+		return fmt.Errorf("%s was measured with the %q backend, want analytical", path, rep.Backend)
+	}
+	if len(rep.Operators) == 0 {
+		return fmt.Errorf("%s records no operators", path)
+	}
+	cc := rep.CrossCheck
+	if cc == nil {
+		return fmt.Errorf("%s has no cross_check section; regenerate with -crosscheck", path)
+	}
+	if len(cc.Operators) == 0 {
+		return fmt.Errorf("%s cross-check covers no operators", path)
+	}
+	for _, op := range cc.Operators {
+		if !op.Pass {
+			return fmt.Errorf("%s: operator %s disagreement %.4f exceeds its committed tolerance %.2f",
+				path, op.Operator, op.MeanDisagreement, op.Tolerance)
+		}
+	}
+	if !cc.Pass {
+		return fmt.Errorf("%s cross-check recorded as failing", path)
+	}
+	if cc.Speedup < validateMinSpeedup {
+		return fmt.Errorf("%s analytical speedup %.1fx below the committed %.0fx floor",
+			path, cc.Speedup, validateMinSpeedup)
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

@@ -35,6 +35,21 @@ type Stats struct {
 // Misses returns total misses.
 func (s Stats) Misses() uint64 { return s.SeqMisses + s.RndMisses }
 
+// Measurer is the read-only measurement surface a validation backend
+// exposes: per-level counters and the latency-scored memory time. The
+// trace-driven Simulator implements it by counting; the analytical
+// model (internal/cachemodel) implements it by pricing stack-distance
+// distributions. The validation harness accepts either.
+type Measurer interface {
+	Hierarchy() *hardware.Hierarchy
+	Stats(i int) Stats
+	StatsByName(name string) (Stats, bool)
+	AllStats() []Stats
+	MemoryTimeNS() float64
+}
+
+var _ Measurer = (*Simulator)(nil)
+
 // HitRate returns the fraction of lookups served from the cache.
 func (s Stats) HitRate() float64 {
 	if s.Accesses == 0 {
@@ -67,14 +82,17 @@ func newLevel(spec hardware.Level, streamSlots int) *level {
 	lines := spec.Lines()
 	ways := spec.Ways()
 	sets := lines / int64(ways)
+	// hardware.Level.Validate rejects all of these before a level can
+	// reach the simulator (New validates the whole hierarchy first), so
+	// tripping one is an internal invariant violation, not a user error.
 	if lines <= 0 || sets <= 0 {
-		panic(fmt.Sprintf("cachesim: level %s has no lines", spec.Name))
+		panic(fmt.Sprintf("cachesim: invariant violated: level %s has no lines despite validation", spec.Name))
 	}
 	if spec.LineSize&(spec.LineSize-1) != 0 {
-		panic(fmt.Sprintf("cachesim: level %s line size %d not a power of two", spec.Name, spec.LineSize))
+		panic(fmt.Sprintf("cachesim: invariant violated: level %s line size %d not a power of two despite validation", spec.Name, spec.LineSize))
 	}
 	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cachesim: level %s set count %d not a power of two", spec.Name, sets))
+		panic(fmt.Sprintf("cachesim: invariant violated: level %s set count %d not a power of two despite validation", spec.Name, sets))
 	}
 	return &level{
 		spec:        spec,

@@ -176,6 +176,43 @@ func (t *BTree) LookupBatchPattern(k int64) pattern.Pattern {
 	return conc
 }
 
+// BTreeLevelRegions returns the per-level region geometry BulkLoadBTree
+// would build for n keys with the given fanout — same names (name_L0 =
+// leaves), node counts, node widths and root-first order — without
+// touching memory. The analytical validation backend uses it to
+// construct lookup patterns for a tree that is never materialized.
+func BTreeLevelRegions(name string, n, fanout int64) []*region.Region {
+	if fanout < 2 {
+		panic(fmt.Sprintf("engine: B+-tree fanout %d too small", fanout))
+	}
+	if n <= 0 {
+		panic("engine: cannot size an empty B+-tree")
+	}
+	nodeW := fanout * BTreeEntryWidth
+	var levels []*region.Region // leaf first during construction
+	nodes := (n + fanout - 1) / fanout
+	levels = append(levels, region.New(name+"_L0", nodes, nodeW))
+	for nodes > 1 {
+		nodes = (nodes + fanout - 1) / fanout
+		levels = append(levels, region.New(fmt.Sprintf("%s_L%d", name, len(levels)), nodes, nodeW))
+	}
+	// Root first, like BTree.Levels.
+	for i, j := 0, len(levels)-1; i < j; i, j = i+1, j-1 {
+		levels[i], levels[j] = levels[j], levels[i]
+	}
+	return levels
+}
+
+// BTreeLookupBatchPattern is LookupBatchPattern over a pure geometry
+// from BTreeLevelRegions.
+func BTreeLookupBatchPattern(levels []*region.Region, k int64) pattern.Pattern {
+	conc := pattern.Conc{}
+	for _, lr := range levels {
+		conc = append(conc, pattern.RAcc{R: lr, Count: k})
+	}
+	return conc
+}
+
 // RangeScan visits all leaf entries with lo ≤ key ≤ hi in key order,
 // invoking emit(key, rowID) for each, and returns the number of entries
 // visited. It descends once to the first qualifying leaf and then

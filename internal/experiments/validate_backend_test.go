@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestValidationPatternParity pins the analytical backend's pure
+// pattern constructors to the patterns the trace runners declare: both
+// backends must price the same access pattern or the cross-check
+// compares apples to oranges. Compared via String(), which renders
+// region names, geometry, and structure.
+func TestValidationPatternParity(t *testing.T) {
+	cfg := Config{Hier: smallValidationConfig().Hier, Seed: 42}.withDefaults()
+	const sz = 16 << 10
+	for _, op := range validationOps() {
+		_, traceP := op.run(cfg, sz)
+		pureP := op.pat(cfg, sz)
+		if got, want := pureP.String(), traceP.String(); got != want {
+			t.Errorf("%s: pattern mismatch\n pure:  %s\n trace: %s", op.name, got, want)
+		}
+	}
+}
+
+func TestAnalyticalBackendSweeps(t *testing.T) {
+	cfg := smallValidationConfig()
+	cfg.Backend = BackendAnalytical
+	v, err := RunValidation(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunValidation(analytical): %v", err)
+	}
+	if v.Backend != BackendAnalytical {
+		t.Errorf("backend = %q", v.Backend)
+	}
+	if len(v.Operators) != len(ValidationOperators()) {
+		t.Fatalf("got %d operators", len(v.Operators))
+	}
+	for _, ov := range v.Operators {
+		for _, pt := range ov.Points {
+			if pt.MeasuredNS <= 0 {
+				t.Errorf("%s at %d: non-positive analytical measurement %g", ov.Operator, pt.Bytes, pt.MeasuredNS)
+			}
+			if pt.PredictedNS <= 0 {
+				t.Errorf("%s at %d: non-positive prediction %g", ov.Operator, pt.Bytes, pt.PredictedNS)
+			}
+		}
+	}
+}
+
+func TestRunValidationRejectsBadBackend(t *testing.T) {
+	cfg := smallValidationConfig()
+	cfg.Backend = "oracle"
+	_, err := RunValidation(context.Background(), cfg)
+	if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("bad backend: err = %v", err)
+	}
+}
+
+func TestRunCrossCheckAttachesComparison(t *testing.T) {
+	cfg := smallValidationConfig()
+	// Larger sizes than the default fixture: the 4 kB grid's counts are
+	// small enough that ±1-line granularity shows as percent-level noise.
+	cfg.Sizes = []int64{32 << 10, 64 << 10}
+	cfg.Operators = []string{"scan", "merge-join"}
+	v, err := RunCrossCheck(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Backend != BackendAnalytical {
+		t.Errorf("cross-check report backend = %q, want analytical", v.Backend)
+	}
+	cc := v.CrossCheck
+	if cc == nil {
+		t.Fatal("CrossCheck missing from report")
+	}
+	if cc.TraceWallNS <= 0 || cc.AnalyticalWallNS <= 0 {
+		t.Errorf("wall clocks not recorded: %+v", cc)
+	}
+	if len(cc.Operators) != 2 {
+		t.Fatalf("got %d cross-checked operators", len(cc.Operators))
+	}
+	for _, occ := range cc.Operators {
+		if occ.Tolerance <= 0 {
+			t.Errorf("%s: no committed tolerance", occ.Operator)
+		}
+		if occ.MaxDisagreement < occ.MeanDisagreement {
+			t.Errorf("%s: max %g < mean %g", occ.Operator, occ.MaxDisagreement, occ.MeanDisagreement)
+		}
+	}
+	// Sequential scans are the analytically exact case: they must agree
+	// with the trace tightly even on the tiny test hierarchy.
+	if scan := cc.Operators[0]; scan.Operator != "scan" || !scan.Pass {
+		t.Errorf("scan cross-check failed: %+v", scan)
+	}
+	if !cc.Pass {
+		t.Errorf("cross-check failed on exact operators: %+v", cc.Operators)
+	}
+}
+
+func TestCrossCheckTolerancesCoverAllOperators(t *testing.T) {
+	tol := CrossCheckTolerances()
+	for _, name := range ValidationOperators() {
+		if tol[name] <= 0 {
+			t.Errorf("operator %s has no committed cross-check tolerance", name)
+		}
+	}
+	if len(tol) != len(ValidationOperators()) {
+		t.Errorf("%d tolerances for %d operators", len(tol), len(ValidationOperators()))
+	}
+}
+
+func TestRelErrorFloorsTinyMeasurements(t *testing.T) {
+	if rel, floored := relError(1000, 1100); floored || rel < 0.099 || rel > 0.101 {
+		t.Errorf("normal point: rel=%g floored=%v", rel, floored)
+	}
+	// An all-hit run measures ~0 ns: the denominator floors to 1 ns and
+	// the point must be flagged so means can exclude it.
+	if rel, floored := relError(0.25, 50); !floored || rel != 49.75 {
+		t.Errorf("floored point: rel=%g floored=%v", rel, floored)
+	}
+	if _, floored := relError(1, 50); floored {
+		t.Error("1 ns measurement must not floor")
+	}
+}
+
+func TestSameNumbersSnapshotGate(t *testing.T) {
+	cfg := smallValidationConfig()
+	cfg.Backend = BackendAnalytical
+	cfg.Operators = []string{"scan", "aggregate"}
+	a, err := RunValidation(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunValidation(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SameNumbers(b); err != nil {
+		t.Fatalf("identical runs must compare equal: %v", err)
+	}
+	b.Operators[1].Points[0].MeasuredNS *= 1.001
+	if err := a.SameNumbers(b); err == nil {
+		t.Fatal("perturbed measurement must fail the snapshot gate")
+	}
+	b = mustClone(t, a)
+	b.Backend = BackendTrace
+	if err := a.SameNumbers(b); err == nil {
+		t.Fatal("backend change must fail the snapshot gate")
+	}
+}
+
+// mustClone deep-copies a Validation through its own JSON shape.
+func mustClone(t *testing.T, v *Validation) *Validation {
+	t.Helper()
+	out := *v
+	out.Operators = append([]OperatorValidation(nil), v.Operators...)
+	for i := range out.Operators {
+		out.Operators[i].Points = append([]ValidationPoint(nil), v.Operators[i].Points...)
+	}
+	return &out
+}

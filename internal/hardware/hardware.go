@@ -123,7 +123,12 @@ func (l Level) RndMissBandwidth() float64 {
 	return float64(l.LineSize) / l.RndMissLatency
 }
 
-// Validate reports whether the level parameters are internally consistent.
+// Validate reports whether the level parameters are internally
+// consistent, including the geometry preconditions both measurement
+// backends rely on: a power-of-two line size, ways dividing the line
+// count, and a power-of-two set count. A level that passes Validate is
+// guaranteed to be accepted by cachesim.New and cachemodel.New, so a
+// profile registered at runtime cannot crash a later sweep.
 func (l Level) Validate() error {
 	switch {
 	case l.Name == "":
@@ -136,8 +141,12 @@ func (l Level) Validate() error {
 		return fmt.Errorf("hardware: level %s: capacity %d not a multiple of line size %d", l.Name, l.Capacity, l.LineSize)
 	case l.Associativity < 0:
 		return fmt.Errorf("hardware: level %s: negative associativity %d", l.Name, l.Associativity)
+	case l.LineSize&(l.LineSize-1) != 0:
+		return fmt.Errorf("hardware: level %s: line size %d not a power of two (the simulator and the analytical model index lines by bit masks)", l.Name, l.LineSize)
 	case l.Associativity > 0 && l.Lines()%int64(l.Associativity) != 0:
 		return fmt.Errorf("hardware: level %s: %d lines not divisible by associativity %d", l.Name, l.Lines(), l.Associativity)
+	case l.Sets()&(l.Sets()-1) != 0:
+		return fmt.Errorf("hardware: level %s: set count %d (%d lines / %d ways) not a power of two", l.Name, l.Sets(), l.Lines(), l.Ways())
 	case l.SeqMissLatency < 0 || l.RndMissLatency < 0:
 		return fmt.Errorf("hardware: level %s: negative latency", l.Name)
 	case l.RndMissLatency < l.SeqMissLatency:

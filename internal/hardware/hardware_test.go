@@ -70,23 +70,39 @@ func TestLevelValidateErrors(t *testing.T) {
 		t.Fatalf("valid level rejected: %v", err)
 	}
 	cases := []struct {
-		name   string
-		mutate func(*Level)
+		name    string
+		mutate  func(*Level)
+		wantErr string
 	}{
-		{"empty name", func(l *Level) { l.Name = "" }},
-		{"zero capacity", func(l *Level) { l.Capacity = 0 }},
-		{"zero line", func(l *Level) { l.LineSize = 0 }},
-		{"capacity not multiple", func(l *Level) { l.Capacity = 1000 }},
-		{"negative assoc", func(l *Level) { l.Associativity = -1 }},
-		{"assoc not divisor", func(l *Level) { l.Associativity = 3 }},
-		{"negative latency", func(l *Level) { l.SeqMissLatency = -1 }},
-		{"rnd below seq", func(l *Level) { l.RndMissLatency = 0.5 }},
+		{"empty name", func(l *Level) { l.Name = "" }, "empty name"},
+		{"zero capacity", func(l *Level) { l.Capacity = 0 }, "capacity"},
+		{"zero line", func(l *Level) { l.LineSize = 0 }, "line size"},
+		{"capacity not multiple", func(l *Level) { l.Capacity = 1000 }, "not a multiple"},
+		{"negative assoc", func(l *Level) { l.Associativity = -1 }, "negative associativity"},
+		{"assoc not divisor", func(l *Level) { l.Associativity = 3 }, "not divisible by associativity"},
+		// The geometry preconditions the measurement backends index by:
+		// violating any of these used to panic deep inside cachesim.newLevel
+		// when a runtime-registered profile reached a sweep.
+		{"line size not power of two", func(l *Level) { l.LineSize = 48; l.Capacity = 48 * 32 }, "not a power of two"},
+		{"set count not power of two", func(l *Level) {
+			// 96 lines / 2 ways = 48 sets: every field individually sane,
+			// but the set index is no longer a bit mask.
+			l.Capacity = 96 * 32
+			l.Associativity = 2
+		}, "set count 48"},
+		{"negative latency", func(l *Level) { l.SeqMissLatency = -1 }, "negative latency"},
+		{"rnd below seq", func(l *Level) { l.RndMissLatency = 0.5 }, "below sequential"},
 	}
 	for _, tc := range cases {
 		l := good
 		tc.mutate(&l)
-		if err := l.Validate(); err == nil {
+		err := l.Validate()
+		if err == nil {
 			t.Errorf("%s: expected validation error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
 	}
 }

@@ -6,7 +6,10 @@
 // experiments (Figure 7) in reproducible form.
 package workload
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Keyed is the minimal table surface the generators need: a tuple count
 // and unobserved key writes (filling is setup, not measured trace).
@@ -42,12 +45,26 @@ func (r *RNG) Uint64() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-// Intn returns a pseudo-random int64 in [0, n).
+// Intn returns a pseudo-random int64 in [0, n), exactly uniformly.
+// Lemire's multiply-shift rejection method: hi of the 128-bit product
+// x·n is uniform over [0, n) once the low half clears the rejection
+// threshold 2⁶⁴ mod n (a plain `Uint64() % n` over-weights the small
+// residues for n not a power of two — modulo bias).
 func (r *RNG) Intn(n int64) int64 {
 	if n <= 0 {
 		panic("workload: Intn with non-positive n")
 	}
-	return int64(r.Uint64() % uint64(n))
+	un := uint64(n)
+	if un&(un-1) == 0 {
+		return int64(r.Uint64() & (un - 1))
+	}
+	threshold := -un % un // 2⁶⁴ mod n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), un)
+		if lo >= threshold {
+			return int64(hi)
+		}
+	}
 }
 
 // Float64 returns a pseudo-random float64 in [0, 1).

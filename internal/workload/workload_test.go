@@ -57,6 +57,49 @@ func TestIntnRange(t *testing.T) {
 	r.Intn(0)
 }
 
+// TestIntnUnbiased is the regression test for the modulo-bias bug.
+// With n = 3·2⁶¹, the old `Uint64() % n` maps 8/3 of the 64-bit space
+// onto [0, n): residues below 2⁶² are produced by three preimages and
+// the rest by two, so P(v < 2⁶²) = 3/4 instead of the uniform
+// 2⁶²/n = 2/3. Lemire rejection must land on 2/3; 10⁵ draws put the
+// unbiased fraction within ±0.013 (≈9σ) of 2/3 while the biased value
+// sits 0.083 away — the two outcomes cannot be confused.
+func TestIntnUnbiased(t *testing.T) {
+	const (
+		n     = int64(3) << 61
+		split = int64(1) << 62
+		draws = 100000
+	)
+	r := NewRNG(12345)
+	below := 0
+	for i := 0; i < draws; i++ {
+		if r.Intn(n) < split {
+			below++
+		}
+	}
+	frac := float64(below) / draws
+	if frac < 0.653 || frac > 0.680 {
+		t.Errorf("P(Intn(3<<61) < 1<<62) = %.4f, want ≈2/3 (modulo bias would give 3/4)", frac)
+	}
+}
+
+// TestIntnPowerOfTwoMask pins the mask fast path: powers of two need no
+// rejection loop and must still cover the full range.
+func TestIntnPowerOfTwoMask(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn(8) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Intn(8) covered only %d of 8 values in 1000 draws", len(seen))
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := NewRNG(4)
 	for i := 0; i < 1000; i++ {

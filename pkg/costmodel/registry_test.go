@@ -2,6 +2,7 @@ package costmodel_test
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -78,6 +79,49 @@ func TestRegistryConcurrentRegisterAndLookup(t *testing.T) {
 	// registrations (2 per writer iteration).
 	if got, want := reg.Version(), uint64(writers*iterations*2); got != want {
 		t.Errorf("Version = %d, want %d", got, want)
+	}
+}
+
+// TestRegisterRejectsBadGeometry registers hierarchies whose fields are
+// individually plausible but whose geometry the measurement backends
+// cannot index (non-power-of-two line size or set count). Register must
+// return a descriptive error at registration time — not panic later
+// when a validation sweep first builds a simulator for the profile.
+func TestRegisterRejectsBadGeometry(t *testing.T) {
+	reg := costmodel.NewRegistry()
+	base := func() *costmodel.Hierarchy { return costmodel.SmallTest() }
+
+	cases := []struct {
+		name    string
+		mutate  func(h *costmodel.Hierarchy)
+		wantErr string
+	}{
+		{"non-pow2 line size", func(h *costmodel.Hierarchy) {
+			h.Levels[0].LineSize = 48
+			h.Levels[0].Capacity = 48 * 64
+		}, "not a power of two"},
+		{"non-pow2 set count", func(h *costmodel.Hierarchy) {
+			h.Levels[0].Capacity = 96 * h.Levels[0].LineSize
+			h.Levels[0].Associativity = 2
+		}, "set count"},
+		{"ways not dividing lines", func(h *costmodel.Hierarchy) {
+			h.Levels[0].Associativity = 3
+		}, "not divisible by associativity"},
+	}
+	for _, tc := range cases {
+		h := base()
+		tc.mutate(h)
+		err := reg.Register("bad-"+tc.name, func() *costmodel.Hierarchy { return h })
+		if err == nil {
+			t.Errorf("%s: Register accepted an unindexable geometry", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+		if _, lookupErr := reg.Profile("bad-" + tc.name); lookupErr == nil {
+			t.Errorf("%s: rejected profile still resolvable", tc.name)
+		}
 	}
 }
 

@@ -257,10 +257,12 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleValidate runs a predicted-vs-simulated sweep for
-// GET /v1/validate?profile=origin2000&quick=1&ops=scan,hash-join.
-// Quick defaults to on: the full sweep simulates multi-MB workloads and
-// is meant for the CLI; pass quick=0 deliberately. The sweep runs on the
+// handleValidate runs a predicted-vs-measured sweep for
+// GET /v1/validate?profile=origin2000&quick=1&ops=scan,hash-join&backend=analytical.
+// Quick defaults to on: the full trace sweep simulates multi-MB
+// workloads and is meant for the CLI; pass quick=0 deliberately, or
+// backend=analytical for the stack-distance backend, which prices the
+// full grid in milliseconds. The sweep runs on the
 // request context, so a disconnecting client aborts it. Sweeps are
 // single-flighted: one sweep already saturates its own worker pool
 // (Config.Workers), so a second concurrent request gets 429 rather
@@ -299,6 +301,9 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	if ops := q.Get("ops"); ops != "" {
 		opts.Operators = strings.Split(ops, ",")
+	}
+	if b := q.Get("backend"); b != "" {
+		opts.Backend = validate.Backend(b)
 	}
 	rep, err := validate.Run(r.Context(), opts)
 	if err != nil {

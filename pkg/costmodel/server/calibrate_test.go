@@ -149,6 +149,7 @@ func TestValidateEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, server.Config{Registry: costmodel.NewRegistry()})
 	var rep struct {
 		Profile   string `json:"profile"`
+		Backend   string `json:"backend"`
 		Operators []struct {
 			Operator     string  `json:"operator"`
 			MeanRelError float64 `json:"mean_rel_error"`
@@ -168,6 +169,26 @@ func TestValidateEndpoint(t *testing.T) {
 			t.Errorf("unnamed operator in %+v", rep)
 		}
 	}
+	if rep.Backend != "trace" {
+		t.Errorf("default backend = %q, want trace", rep.Backend)
+	}
+}
+
+func TestValidateEndpointAnalyticalBackend(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Registry: costmodel.NewRegistry()})
+	var rep struct {
+		Backend   string `json:"backend"`
+		Operators []struct {
+			Operator string `json:"operator"`
+		} `json:"operators"`
+	}
+	url := ts.URL + "/v1/validate?profile=small-test&ops=scan&backend=analytical"
+	if resp := getJSON(t, url, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/validate analytical = %d", resp.StatusCode)
+	}
+	if rep.Backend != "analytical" || len(rep.Operators) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
 }
 
 func TestValidateEndpointErrors(t *testing.T) {
@@ -178,6 +199,9 @@ func TestValidateEndpointErrors(t *testing.T) {
 	}
 	if resp := getJSON(t, ts.URL+"/v1/validate?quick=maybe", &out); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad quick = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/validate?backend=oracle", &out); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad backend = %d", resp.StatusCode)
 	}
 	resp, err := http.Post(ts.URL+"/v1/validate", "application/json", nil)
 	if err != nil {

@@ -1,11 +1,21 @@
-// Package validate checks the cost model against reference simulation:
-// it sweeps every operator pattern of the engine (scan, sort, merge- and
-// hash-join, partitioning, multi-pass radix partitioning, B-tree lookup
-// batches, aggregation) across data sizes, runs each operator in
-// simulated memory with the cache simulator counting misses, and reports
-// the relative error between the model's predicted memory time (Eq. 3.1)
-// and the simulator's latency-scored measurement — the paper's Section 6
-// validation methodology, condensed into one number per operator.
+// Package validate checks the cost model against a reference
+// measurement: it sweeps every operator pattern of the engine (scan,
+// sort, merge- and hash-join, partitioning, multi-pass radix
+// partitioning, B-tree lookup batches, aggregation) across data sizes,
+// measures each grid point with the selected backend, and reports the
+// relative error between the model's predicted memory time (Eq. 3.1)
+// and the latency-scored measurement — the paper's Section 6 validation
+// methodology, condensed into one number per operator.
+//
+// Two backends produce the measured side. BackendTrace (the default)
+// runs the operator in simulated memory with the cache simulator
+// counting misses — the slow oracle that observes real engine code.
+// BackendAnalytical prices the operator's declared pattern with the
+// stack-distance model in internal/cachemodel; no trace is generated,
+// which makes the full grid ~two orders of magnitude faster and cheap
+// enough to run on every CI push. Options.CrossCheck runs both and
+// attaches their per-operator disagreement, gated against committed
+// tolerances (see docs/validation.md).
 //
 // Because both sides price misses with the same per-level latencies, the
 // relative error isolates miss-count accuracy: it answers "how well do
@@ -58,7 +68,29 @@ type Options struct {
 	Workers int
 	// Seed drives workload generation (default 42).
 	Seed uint64
+	// Backend selects the measurement backend: BackendTrace replays
+	// operators through the cache simulator (slow oracle, default);
+	// BackendAnalytical prices the declared patterns with the
+	// stack-distance model (~two orders of magnitude faster).
+	Backend Backend
+	// CrossCheck runs both backends on the same grid and attaches the
+	// per-operator disagreement and wall-clock speedup to the report
+	// (Report.CrossCheck). The reported points are the analytical
+	// backend's; Backend is ignored.
+	CrossCheck bool
 }
+
+// Backend selects how the measured side of the sweep is produced.
+type Backend = experiments.Backend
+
+// The supported backends.
+const (
+	BackendTrace      = experiments.BackendTrace
+	BackendAnalytical = experiments.BackendAnalytical
+)
+
+// Backends lists the supported validation backends.
+func Backends() []Backend { return experiments.Backends() }
 
 // Report is a full validation report; it marshals to the
 // BENCH_validate.json schema (see docs/validation.md).
@@ -97,12 +129,17 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		}
 		hier = h
 	}
-	return experiments.RunValidation(ctx, experiments.ValidationConfig{
+	vcfg := experiments.ValidationConfig{
 		Hier:      hier,
 		Sizes:     opts.Sizes,
 		Operators: opts.Operators,
 		Quick:     opts.Quick,
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
-	})
+		Backend:   opts.Backend,
+	}
+	if opts.CrossCheck {
+		return experiments.RunCrossCheck(ctx, vcfg)
+	}
+	return experiments.RunValidation(ctx, vcfg)
 }
