@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cachesim"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/queryplan"
 	"repro/internal/region"
+	"repro/internal/sweep"
 	"repro/internal/vmem"
 	"repro/internal/workload"
 )
@@ -370,6 +372,79 @@ func BenchmarkPlanSearch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSweepGrid is the grid-sweep headline benchmark: the full
+// 8-operator × 3-size analytical validation grid on Origin2000, single
+// worker so the comparison isolates the sweep machinery from
+// parallelism. Three modes:
+//
+//   - loop: the original point-at-a-time pipeline (re-validate,
+//     re-compile, re-analyze every cell) via ValidationConfig.PointLoop.
+//   - sweep: the production sweep path end to end, including grid
+//     preparation — what one `costmodel validate` run pays.
+//   - sweepwarm: repeated Runs on one prepared grid — the steady state
+//     a serving process or calibration search pays per grid, which must
+//     allocate nothing (0 allocs/op).
+//
+// CI parses this benchmark into BENCH_eval.json via cmd/benchjson
+// -checksweep; the acceptance bar is sweepwarm ≥5x over loop with 0
+// allocs/op (one prepared grid amortizes across the runs that reuse
+// it, so the steady state carries the committed contract; the cold
+// sweep is recorded alongside for the one-shot CLI cost).
+func BenchmarkSweepGrid(b *testing.B) {
+	vcfg := experiments.ValidationConfig{
+		Backend: experiments.BackendAnalytical,
+		Workers: 1,
+	}
+	ctx := context.Background()
+	run := func(b *testing.B, cfg experiments.ValidationConfig) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := experiments.RunValidation(ctx, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(v.Operators) == 0 {
+				b.Fatal("empty validation")
+			}
+		}
+	}
+	b.Run("loop", func(b *testing.B) {
+		cfg := vcfg
+		cfg.PointLoop = true
+		run(b, cfg)
+	})
+	b.Run("sweep", func(b *testing.B) { run(b, vcfg) })
+	b.Run("sweepwarm", func(b *testing.B) {
+		pts, err := experiments.ValidationSweepPoints(vcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grid, err := sweep.Prepare(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := grid.On(hardware.Origin2000())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := sweep.Options{Workers: 1, Predict: true, Price: true}
+		if _, err := s.Run(ctx, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Run(ctx, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != grid.Len() {
+				b.Fatal("short sweep")
+			}
+		}
+	})
 }
 
 // BenchmarkCompile prices the compile step the IR path adds (paid once

@@ -25,6 +25,12 @@
 // exit non-zero so the bench-smoke job fails instead of silently
 // uploading a regression.
 //
+// With -checksweep, the grid-sweep bar is enforced: the
+// SweepGrid/loop / SweepGrid/sweep / SweepGrid/sweepwarm trio must be
+// present, the warm sweep must report 0 allocs/op, and the warm sweep
+// must be at least 5x faster than the point-at-a-time loop (the
+// committed snapshot records ~10x).
+//
 // -checkvalidate <file> is a standalone mode (nothing read from
 // stdin): it opens a committed BENCH_validate.json and asserts the
 // analytical-backend contract — backend "analytical", a cross-check
@@ -81,6 +87,25 @@ type Speedup struct {
 	IRAllocsPerOp float64 `json:"ir_allocs_per_op"`
 }
 
+// Acceptance thresholds enforced by -checksweep: the warm grid sweep
+// must beat the point-at-a-time validation loop by this factor with
+// zero steady-state allocations.
+const checkSweepMinSpeedup = 5.0
+
+// SweepSpeedup compares the grid-sweep evaluator against the
+// point-at-a-time validation loop on the full analytical grid
+// (BenchmarkSweepGrid). Speedup is loop over warm sweep — the steady
+// state that carries the committed contract; ColdSpeedup is loop over
+// the end-to-end sweep including grid preparation.
+type SweepSpeedup struct {
+	LoopNsPerOp     float64 `json:"loop_ns_per_op"`
+	SweepNsPerOp    float64 `json:"sweep_ns_per_op"`
+	WarmNsPerOp     float64 `json:"warm_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	ColdSpeedup     float64 `json:"cold_speedup,omitempty"`
+	WarmAllocsPerOp float64 `json:"warm_allocs_per_op"`
+}
+
 // PlanSpeedup pairs a baseline with the warm DP search on one
 // scenario: the exhaustive enumerator where it can run (join4-chain),
 // the cold-cache DP search on the DP-only scenarios. Speedup is
@@ -103,6 +128,7 @@ type Report struct {
 	Benchmarks []Benchmark   `json:"benchmarks"`
 	Speedups   []Speedup     `json:"speedups,omitempty"`
 	PlanSearch []PlanSpeedup `json:"plan_speedups,omitempty"`
+	Sweep      *SweepSpeedup `json:"sweep_speedup,omitempty"`
 }
 
 func main() {
@@ -114,6 +140,9 @@ func main() {
 	snapshot := flag.String("snapshot", "",
 		"committed BENCH_plan.json to compare against; fail if the warm DP time of "+
 			snapshotScenario+" regresses past "+fmt.Sprintf("%.2f", snapshotTolerance)+"x")
+	checkSweep := flag.Bool("checksweep", false,
+		"fail unless the warm grid sweep beats the point-at-a-time loop by ≥ "+
+			fmt.Sprintf("%.0f", checkSweepMinSpeedup)+"x with 0 allocs/op")
 	checkValidate := flag.String("checkvalidate", "",
 		"standalone mode: check a committed BENCH_validate.json (analytical backend, "+
 			"passing cross-check, ≥10x speedup) and exit; stdin is not read")
@@ -145,6 +174,12 @@ func main() {
 	}
 	if *checkPlan {
 		if err := rep.checkPlanAcceptance(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *checkSweep {
+		if err := rep.checkSweepAcceptance(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -205,6 +240,24 @@ func (rep *Report) checkPlanAcceptance() error {
 		if s.Speedup <= 1 {
 			return fmt.Errorf("warm DP search is not faster than a cold one on %s (%.2fx): geometry interning is not paying off", name, s.Speedup)
 		}
+	}
+	return nil
+}
+
+// checkSweepAcceptance enforces the grid-sweep acceptance bar: the
+// warm sweep carries zero steady-state allocations and at least the
+// committed speedup over the point-at-a-time loop.
+func (rep *Report) checkSweepAcceptance() error {
+	s := rep.Sweep
+	if s == nil || s.LoopNsPerOp <= 0 || s.WarmNsPerOp <= 0 {
+		return fmt.Errorf("no SweepGrid loop/sweepwarm pair in the benchmark output")
+	}
+	if s.WarmAllocsPerOp != 0 {
+		return fmt.Errorf("warm grid sweep allocates %.1f objects/op, want 0", s.WarmAllocsPerOp)
+	}
+	if s.Speedup < checkSweepMinSpeedup {
+		return fmt.Errorf("warm grid sweep speedup %.2fx below the %.0fx acceptance bar",
+			s.Speedup, checkSweepMinSpeedup)
 	}
 	return nil
 }
@@ -328,7 +381,39 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	}
 	rep.Speedups = speedups(rep.Benchmarks)
 	rep.PlanSearch = planSpeedups(rep.Benchmarks)
+	rep.Sweep = sweepSpeedup(rep.Benchmarks)
 	return rep, nil
+}
+
+// sweepSpeedup derives the grid-sweep comparison from the
+// SweepGrid/loop, SweepGrid/sweep and SweepGrid/sweepwarm trio, or
+// returns nil when the trio was not benchmarked.
+func sweepSpeedup(benches []Benchmark) *SweepSpeedup {
+	var loop, cold, warm Benchmark
+	for _, b := range benches {
+		switch {
+		case strings.HasSuffix(b.Name, "SweepGrid/loop"):
+			loop = b
+		case strings.HasSuffix(b.Name, "SweepGrid/sweep"):
+			cold = b
+		case strings.HasSuffix(b.Name, "SweepGrid/sweepwarm"):
+			warm = b
+		}
+	}
+	if loop.NsPerOp <= 0 || warm.NsPerOp <= 0 {
+		return nil
+	}
+	s := &SweepSpeedup{
+		LoopNsPerOp:     loop.NsPerOp,
+		SweepNsPerOp:    cold.NsPerOp,
+		WarmNsPerOp:     warm.NsPerOp,
+		Speedup:         loop.NsPerOp / warm.NsPerOp,
+		WarmAllocsPerOp: warm.AllocsPerOp,
+	}
+	if cold.NsPerOp > 0 {
+		s.ColdSpeedup = loop.NsPerOp / cold.NsPerOp
+	}
+	return s
 }
 
 // parseBenchLine parses e.g.

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sweepBench builds the SweepGrid trio as parsed benchmark lines.
+func sweepBench(loopNs, coldNs, warmNs, warmAllocs float64) []Benchmark {
+	return []Benchmark{
+		{Name: "SweepGrid/loop", NsPerOp: loopNs},
+		{Name: "SweepGrid/sweep", NsPerOp: coldNs},
+		{Name: "SweepGrid/sweepwarm", NsPerOp: warmNs, AllocsPerOp: warmAllocs},
+	}
+}
+
+func TestSweepSpeedup(t *testing.T) {
+	s := sweepSpeedup(sweepBench(16e6, 4e6, 1.6e6, 0))
+	if s == nil {
+		t.Fatal("trio not recognized")
+	}
+	if s.Speedup < 9.9 || s.Speedup > 10.1 {
+		t.Errorf("warm speedup %.2f, want ~10", s.Speedup)
+	}
+	if s.ColdSpeedup < 3.9 || s.ColdSpeedup > 4.1 {
+		t.Errorf("cold speedup %.2f, want ~4", s.ColdSpeedup)
+	}
+	if sweepSpeedup(nil) != nil {
+		t.Error("empty input produced a sweep section")
+	}
+	if sweepSpeedup(sweepBench(16e6, 4e6, 0, 0)) != nil {
+		t.Error("missing warm benchmark produced a sweep section")
+	}
+}
+
+func TestCheckSweepAcceptance(t *testing.T) {
+	cases := []struct {
+		name    string
+		rep     Report
+		wantErr string
+	}{
+		{"passing", Report{Sweep: sweepSpeedup(sweepBench(16e6, 4e6, 1.6e6, 0))}, ""},
+		{"missing trio", Report{}, "no SweepGrid"},
+		{"allocating", Report{Sweep: sweepSpeedup(sweepBench(16e6, 4e6, 1.6e6, 3))}, "want 0"},
+		{"too slow", Report{Sweep: sweepSpeedup(sweepBench(16e6, 4e6, 8e6, 0))}, "below the 5x acceptance bar"},
+	}
+	for _, tc := range cases {
+		err := tc.rep.checkSweepAcceptance()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: rejected: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

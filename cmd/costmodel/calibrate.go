@@ -29,6 +29,7 @@ func runCalibrate(args []string) {
 		max  = fs.Int64("max-footprint", 0, "largest sweep footprint in bytes (0 = 64 MB host / 4x outermost capacity simulated)")
 		clk  = fs.Float64("clock", 1.0, "CPU cycle time in ns recorded on the profile")
 		asJS = fs.Bool("json", false, "print the discovered profile as JSON instead of a table")
+		vald = fs.Bool("validate", false, "run the analytical validation sweep on the discovered profile and report its mean relative error")
 	)
 	fs.Parse(args)
 
@@ -39,10 +40,12 @@ func runCalibrate(args []string) {
 		fmt.Fprintln(os.Stderr, "calibrating host memory (best effort; expect runtime noise)...")
 	}
 	rep, err := calibrate.Run(ctx, calibrate.Options{
-		Name:         *name,
-		SimProfile:   *sim,
-		MaxFootprint: *max,
-		ClockNS:      *clk,
+		Name:          *name,
+		SimProfile:    *sim,
+		MaxFootprint:  *max,
+		ClockNS:       *clk,
+		Validate:      *vald,
+		ValidateQuick: true, // the CLI smoke check; use `costmodel validate` for the full grid
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -57,6 +60,10 @@ func runCalibrate(args []string) {
 		}
 	} else {
 		fmt.Print(rep)
+	}
+	if v := rep.Validation; v != nil {
+		fmt.Printf("\npost-discovery validation (analytical sweep): mean relative error %.4f over %d operators\n",
+			v.MeanRelError, len(v.Operators))
 	}
 	fmt.Fprintf(os.Stderr, "registered profile %q (%d levels) in this process's registry\n", rep.Name, len(rep.Levels))
 	fmt.Fprintln(os.Stderr, "note: registration does not outlive the process — to calibrate and then evaluate/validate, use `costmodel serve` and its /v1/calibrate endpoint (docs/calibration.md)")

@@ -104,6 +104,7 @@ func runEval(args []string) {
 	var (
 		patternStr = fs.String("pattern", "", "pattern expression (Table 2 language)")
 		profile    = fs.String("profile", "origin2000", "hardware profile: "+profileNames())
+		profiles   = fs.String("profiles", "", "comma-separated profile grid (or \"all\"): compile the pattern once and evaluate it on every profile")
 		cpuNS      = fs.Float64("cpu", 0, "pure CPU time T_cpu in ns (Eq. 6.1)")
 		explain    = fs.Bool("explain", false, "print the per-pattern-node cost breakdown")
 	)
@@ -113,6 +114,10 @@ func runEval(args []string) {
 	if *patternStr == "" {
 		fmt.Fprintln(os.Stderr, "missing -pattern; see -h")
 		os.Exit(2)
+	}
+	if *profiles != "" {
+		runEvalGrid(*profiles, *patternStr, *cpuNS, regions.regions)
+		return
 	}
 	model, err := costmodel.DefaultRegistry().Model(*profile)
 	if err != nil {
@@ -152,6 +157,49 @@ func runEval(args []string) {
 		}
 		fmt.Println()
 		ex.Render(os.Stdout)
+	}
+}
+
+// runEvalGrid evaluates one pattern across a profile grid on a single
+// shared compiled program: the compile step (the swept-parameter-
+// invariant prefix) is paid once, each profile then re-evaluates the
+// flat IR against its own hierarchy.
+func runEvalGrid(list, patternStr string, cpuNS float64, regions map[string]*costmodel.Region) {
+	var names []string
+	if list == "all" {
+		names = costmodel.ProfileNames()
+	} else {
+		names = strings.Split(list, ",")
+	}
+	p, err := costmodel.ParsePattern(patternStr, regions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prog, err := costmodel.Compile(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("pattern: %s\n\n", p)
+	fmt.Printf("%-14s %14s %14s %14s\n", "profile", "seq-misses", "rnd-misses", "t.mem[ms]")
+	for _, name := range names {
+		model, err := costmodel.DefaultRegistry().Model(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res := model.EvaluateCompiled(prog)
+		var seq, rnd float64
+		for _, lr := range res.PerLevel {
+			seq += lr.Misses.Seq
+			rnd += lr.Misses.Rnd
+		}
+		fmt.Printf("%-14s %14.0f %14.0f %14.3f\n",
+			model.Hierarchy().Name, seq, rnd, res.MemoryTimeNS()/1e6)
+	}
+	if cpuNS > 0 {
+		fmt.Printf("\nT_cpu = %.3f ms is added on top of each t.mem (Eq. 6.1)\n", cpuNS/1e6)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/pkg/costmodel/validate"
@@ -26,6 +28,8 @@ const validateMinSpeedup = 10
 //	costmodel validate -backend analytical  # stack-distance backend, ~100× faster
 //	costmodel validate -crosscheck -check   # both backends, gate on disagreement
 //	costmodel validate -profile modern-x86 -ops scan,hash-join
+//	costmodel validate -pointloop           # per-point baseline (bit-identical)
+//	costmodel validate -cpuprofile v.pprof -memprofile m.pprof
 //
 // The -json trajectory file records per-operator and overall mean
 // relative error (schema in docs/validation.md), so successive runs can
@@ -46,11 +50,27 @@ func runValidate(args []string) {
 		asJS     = fs.Bool("json", false, "also write the JSON trajectory file (-out)")
 		out      = fs.String("out", "BENCH_validate.json", "path of the JSON trajectory file written with -json")
 		snapshot = fs.String("snapshot", "", "committed trajectory file to compare deterministic numbers against (exit non-zero on drift)")
+		ptLoop   = fs.Bool("pointloop", false, "opt out of the batched grid sweep and evaluate point-at-a-time (bit-identical; benchmark baseline)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = fs.String("memprofile", "", "write a post-sweep heap profile to this file")
 	)
 	fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
 
 	opts := validate.Options{
 		Profile:    *profile,
@@ -59,11 +79,30 @@ func runValidate(args []string) {
 		Seed:       *seed,
 		Backend:    validate.Backend(*backend),
 		CrossCheck: *cross,
+		PointLoop:  *ptLoop,
 	}
 	if *ops != "" {
 		opts.Operators = strings.Split(*ops, ",")
 	}
 	rep, err := validate.Run(ctx, opts)
+	if *cpuProf != "" {
+		// Stop before reporting so the profile covers the sweep, not the
+		// JSON marshalling below (and is flushed even on a failed run).
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, merr := os.Create(*memProf)
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // capture live heap after the sweep, not transient garbage
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -163,17 +163,34 @@ func (r *Result) MemoryTimeNS() float64 {
 }
 
 // Price analyzes p and returns the expected per-level counters. The
-// pattern must validate; regions need no materialized Base.
+// pattern must validate; regions need no materialized Base. Callers
+// pricing many patterns (or the same pattern repeatedly) should
+// Prepare once and price through a Pricer, which reuses its analysis
+// buffers and memoizes the distance-mass integrals (see pricer.go).
 func (m *Model) Price(p pattern.Pattern) (*Result, error) {
-	if err := pattern.Validate(p); err != nil {
-		return nil, fmt.Errorf("cachemodel: %w", err)
+	prep, err := Prepare(p)
+	if err != nil {
+		return nil, err
 	}
-	phases := flatten(p)
-	res := &Result{hier: m.hier, levels: make([]levelResult, len(m.levels))}
+	var az analyzer
+	res := &Result{hier: m.hier}
+	m.priceInto(&az, prep, res)
+	return res, nil
+}
+
+// priceInto runs the per-level analysis of prep with az's scratch
+// buffers, writing the outcome into res (levels resized in place).
+func (m *Model) priceInto(az *analyzer, prep *PreparedPattern, res *Result) {
+	res.hier = m.hier
+	if cap(res.levels) < len(m.levels) {
+		res.levels = make([]levelResult, len(m.levels))
+	}
+	res.levels = res.levels[:len(m.levels)]
 	var prevDataMisses float64
 	firstData := true
 	for i, g := range m.levels {
-		lr := analyzeLevel(g, phases)
+		az.level = int32(i)
+		lr := az.analyzeLevel(g, prep.phases)
 		if !g.spec.TLB {
 			// The trace simulator filters data-level hits from the levels
 			// behind them; mirror that in the access counters (the miss
@@ -194,7 +211,6 @@ func (m *Model) Price(p pattern.Pattern) (*Result, error) {
 		}
 		res.levels[i] = lr
 	}
-	return res, nil
 }
 
 // phase is one step of the flattened ⊕-sequence: one atom, or several
@@ -203,9 +219,64 @@ type phase struct {
 	atoms []atom
 }
 
-// atom is one basic pattern occurrence in program order.
+// atom is one basic pattern occurrence in program order. The root of
+// its region's parent chain — the identity the symbolic region stack
+// tracks — and the value key of its analysis parameters are resolved
+// at flatten time so level analysis stays allocation-free and profiles
+// of geometrically identical atoms can share one computation.
 type atom struct {
-	p pattern.Pattern
+	p    pattern.Pattern
+	root *region.Region
+	pk   profileKey
+}
+
+// profileKey captures every input of profileAtom except the level
+// geometry: the basic pattern kind and its numeric parameters, plus
+// the region's (n, w). Atoms with equal keys produce bit-identical
+// profiles on the same level — the recursive operator patterns
+// (quick-sort halves, radix passes, B-tree levels) repeat a handful of
+// keys exponentially often.
+type profileKey struct {
+	op    uint8
+	n     int64
+	w     int64
+	u     int64
+	a     int64 // repeats (rs_trav/rr_trav) or count (r_acc/nest)
+	m     int64 // nest cursors
+	dir   pattern.Direction
+	inner pattern.InnerKind
+	order pattern.Order
+	noSeq bool
+}
+
+// Basic pattern kinds for profileKey.op.
+const (
+	pkSTrav uint8 = iota
+	pkRSTrav
+	pkRTrav
+	pkRRTrav
+	pkRAcc
+	pkNest
+)
+
+// profileKeyOf extracts the value key of a basic pattern.
+func profileKeyOf(p pattern.Pattern) profileKey {
+	switch q := p.(type) {
+	case pattern.STrav:
+		return profileKey{op: pkSTrav, n: q.R.N, w: q.R.W, u: q.U, noSeq: q.NoSeq}
+	case pattern.RSTrav:
+		return profileKey{op: pkRSTrav, n: q.R.N, w: q.R.W, u: q.U, a: q.Repeats, dir: q.Dir, noSeq: q.NoSeq}
+	case pattern.RTrav:
+		return profileKey{op: pkRTrav, n: q.R.N, w: q.R.W, u: q.U}
+	case pattern.RRTrav:
+		return profileKey{op: pkRRTrav, n: q.R.N, w: q.R.W, u: q.U, a: q.Repeats}
+	case pattern.RAcc:
+		return profileKey{op: pkRAcc, n: q.R.N, w: q.R.W, u: q.U, a: q.Count}
+	case pattern.Nest:
+		return profileKey{op: pkNest, n: q.R.N, w: q.R.W, u: q.U, a: q.Count, m: q.M, inner: q.Inner, order: q.Order, noSeq: q.NoSeq}
+	default:
+		panic(fmt.Sprintf("cachemodel: unexpected compound %T after flatten", p))
+	}
 }
 
 // flatten linearizes the pattern tree into phases: Seq children follow
@@ -230,7 +301,7 @@ func flatten(p pattern.Pattern) []phase {
 		}
 		return []phase{ph}
 	default:
-		return []phase{{atoms: []atom{{p: p}}}}
+		return []phase{{atoms: []atom{{p: p, root: rootOf(p.Regions()[0]), pk: profileKeyOf(p)}}}}
 	}
 }
 
@@ -278,93 +349,26 @@ type peer struct {
 	rate      float64 // distinct lines per access quantum
 }
 
-// atomProfile is one atom's per-level analysis.
+// atomProfile is one atom's per-level analysis. Revisit masses live in
+// a fixed-size array (no profile generates more than two) so pooled
+// analyzers stay allocation-free.
 type atomProfile struct {
 	footprint float64 // distinct lines touched (region-stack credit)
 	accesses  float64 // line-granule references
 	rate      float64 // footprint/accesses (distance inflation)
 	seq       bool    // classification of first-touch misses
-	revisits  []mass  // pattern-internal revisit masses
+	nRev      int32
+	rev       [2]mass // pattern-internal revisit masses
 }
 
-// analyzeLevel prices all phases on one level, threading the symbolic
-// region stack across phases.
-func analyzeLevel(g geom, phases []phase) levelResult {
-	var lr levelResult
-	type stackEntry struct {
-		key   *region.Region
-		lines float64
-	}
-	var stack []stackEntry
-
-	for _, ph := range phases {
-		profiles := make([]atomProfile, len(ph.atoms))
-		for i, a := range ph.atoms {
-			profiles[i] = profileAtom(g, a.p)
-		}
-		// Distance inflation peers: every other atom of the phase.
-		for i := range profiles {
-			var peers []peer
-			for j, p := range profiles {
-				if j != i && p.accesses > 0 {
-					peers = append(peers, peer{footprint: p.footprint, rate: p.rate})
-				}
-			}
-			pr := &profiles[i]
-			lr.accesses += pr.accesses
-
-			// First touches: revisits of an earlier phase's leftovers, or
-			// cold misses. Stack distances of sibling atoms within this
-			// phase are handled by inflation, not by stack position.
-			var masses []mass
-			root := rootOf(ph.atoms[i].p.Regions()[0])
-			depth := 0.0
-			found := -1
-			for k := len(stack) - 1; k >= 0; k-- {
-				if stack[k].key == root {
-					found = k
-					break
-				}
-				depth += stack[k].lines
-			}
-			first := pr.footprint
-			if found >= 0 && first > 0 {
-				prev := stack[found].lines
-				warm := math.Min(first, prev)
-				if warm > 0 {
-					masses = append(masses, mass{kind: dUniform, lo: depth, hi: depth + prev, count: warm, seq: pr.seq})
-				}
-				if cold := first - warm; cold > 0 {
-					masses = append(masses, mass{kind: dCold, count: cold, seq: pr.seq})
-				}
-			} else if first > 0 {
-				masses = append(masses, mass{kind: dCold, count: first, seq: pr.seq})
-			}
-			masses = append(masses, pr.revisits...)
-
-			for _, ms := range masses {
-				miss := ms.count * expectedMissProb(g, ms, pr.rate, peers)
-				if ms.seq {
-					lr.seqMiss += miss
-				} else {
-					lr.rndMiss += miss
-				}
-			}
-
-			// Update the stack: root moves to the top carrying the larger
-			// of its previous credit and this atom's footprint.
-			lines := pr.footprint
-			if found >= 0 {
-				if stack[found].lines > lines {
-					lines = stack[found].lines
-				}
-				stack = append(stack[:found], stack[found+1:]...)
-			}
-			stack = append(stack, stackEntry{key: root, lines: lines})
-		}
-	}
-	return lr
+// addRevisit records one pattern-internal revisit mass.
+func (pr *atomProfile) addRevisit(m mass) {
+	pr.rev[pr.nRev] = m
+	pr.nRev++
 }
+
+// revisits returns the recorded revisit masses.
+func (pr *atomProfile) revisits() []mass { return pr.rev[:pr.nRev] }
 
 // profileAtom derives one basic pattern's per-level distance profile.
 func profileAtom(g geom, p pattern.Pattern) atomProfile {
@@ -455,15 +459,15 @@ func sTravProfile(g geom, r *region.Region, u0 int64, repeats int64, dir pattern
 		// sweep revisit at distance ~0 (always hits, at any geometry with
 		// at least one way).
 		if extra := float64(repeats) * (float64(n)*perItem - f); extra > 0 {
-			pr.revisits = append(pr.revisits, mass{kind: dPoint, lo: 0, count: extra, seq: seq})
+			pr.addRevisit(mass{kind: dPoint, lo: 0, count: extra, seq: seq})
 		}
 	}
 	if repeats > 1 {
 		cnt := float64(repeats-1) * f
 		if dir == pattern.Uni {
-			pr.revisits = append(pr.revisits, mass{kind: dPoint, lo: f, count: cnt, seq: seq})
+			pr.addRevisit(mass{kind: dPoint, lo: f, count: cnt, seq: seq})
 		} else {
-			pr.revisits = append(pr.revisits, mass{kind: dUniform, lo: 0, hi: f, count: cnt, seq: seq})
+			pr.addRevisit(mass{kind: dUniform, lo: 0, hi: f, count: cnt, seq: seq})
 		}
 	}
 	return pr
@@ -498,14 +502,14 @@ func rTravProfile(g geom, r *region.Region, u0 int64, repeats int64) atomProfile
 	if gapSmall && perSweepRefs > f {
 		// Within one sweep the surplus references to shared lines arrive
 		// at uniform stack distances inside the footprint.
-		pr.revisits = append(pr.revisits, mass{
+		pr.addRevisit(mass{
 			kind: dUniform, lo: 0, hi: f,
 			count: float64(repeats) * (perSweepRefs - f),
 			sat:   f,
 		})
 	}
 	if repeats > 1 {
-		pr.revisits = append(pr.revisits, mass{
+		pr.addRevisit(mass{
 			kind: dQuad, hi: f,
 			count: float64(repeats-1) * f,
 			sat:   f,
@@ -529,7 +533,7 @@ func rAccProfile(g geom, r *region.Region, u0 int64, count int64) atomProfile {
 		pr.rate = f / refs
 	}
 	if extra := refs - f; extra > 0 && f > 0 {
-		pr.revisits = append(pr.revisits, mass{kind: dUniform, lo: 0, hi: f, count: extra, sat: f})
+		pr.addRevisit(mass{kind: dUniform, lo: 0, hi: f, count: extra, sat: f})
 	}
 	return pr
 }
@@ -569,7 +573,7 @@ func nestProfile(g geom, q pattern.Nest) atomProfile {
 	sweeps := float64(n) / float64(q.M)
 	if extra := refs - f; extra > 0 {
 		// Same-line references within one cross-traversal slot.
-		pr.revisits = append(pr.revisits, mass{kind: dPoint, lo: 0, count: extra, seq: seq})
+		pr.addRevisit(mass{kind: dPoint, lo: 0, count: extra, seq: seq})
 	}
 	if sweeps > 1 && lCross > 0 {
 		cnt := (sweeps - 1) * lCross
@@ -586,11 +590,11 @@ func nestProfile(g geom, q pattern.Nest) atomProfile {
 		}
 		switch q.Order {
 		case pattern.OrderUni:
-			pr.revisits = append(pr.revisits, mass{kind: dPoint, lo: lCross, count: cnt, gapRate: gapRate})
+			pr.addRevisit(mass{kind: dPoint, lo: lCross, count: cnt, gapRate: gapRate})
 		case pattern.OrderBi:
-			pr.revisits = append(pr.revisits, mass{kind: dUniform, lo: 0, hi: lCross, count: cnt, gapRate: gapRate})
+			pr.addRevisit(mass{kind: dUniform, lo: 0, hi: lCross, count: cnt, gapRate: gapRate})
 		default:
-			pr.revisits = append(pr.revisits, mass{kind: dQuad, hi: lCross, count: cnt, gapRate: gapRate})
+			pr.addRevisit(mass{kind: dQuad, hi: lCross, count: cnt, gapRate: gapRate})
 		}
 	}
 	return pr

@@ -1,0 +1,78 @@
+package costir
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/pattern"
+	"repro/internal/region"
+)
+
+// batchTestPattern builds a nested ⊕/⊙ pattern exercising state
+// threading, cache division, and sub-regions.
+func batchTestPattern() pattern.Pattern {
+	u := region.New("U", 1<<14, 8)
+	v := region.New("V", 1<<13, 16)
+	a, b := u.Halves()
+	return pattern.Seq{
+		pattern.STrav{R: u},
+		pattern.Conc{
+			pattern.Seq{pattern.STrav{R: a}, pattern.STrav{R: b}},
+			pattern.RAcc{R: v, Count: 1 << 12},
+		},
+		pattern.RSTrav{R: v, Repeats: 3, Dir: pattern.Bi},
+	}
+}
+
+// TestEvaluateBatchMatchesEvaluate pins the batch path to per-point
+// Evaluate, bit for bit, across hierarchies with different depths.
+func TestEvaluateBatchMatchesEvaluate(t *testing.T) {
+	prog, err := Compile(batchTestPattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []*hardware.Hierarchy{
+		hardware.Origin2000(),
+		hardware.ModernX86(),
+		hardware.Origin2000(),
+	}
+	got := prog.EvaluateBatch(hs, nil)
+	off := 0
+	for hi, h := range hs {
+		want := prog.Evaluate(h, nil)
+		for li := range h.Levels {
+			g, w := got[off+li], want[li]
+			if math.Float64bits(g.Seq) != math.Float64bits(w.Seq) ||
+				math.Float64bits(g.Rnd) != math.Float64bits(w.Rnd) {
+				t.Fatalf("h%d level %d: batch %+v != evaluate %+v", hi, li, g, w)
+			}
+		}
+		off += len(h.Levels)
+	}
+	if off != len(got) {
+		t.Fatalf("batch returned %d results, want %d", len(got), off)
+	}
+}
+
+// TestEvaluateBatchZeroAlloc pins the steady-state allocation contract:
+// a warm batch over a grid with preallocated dst allocates nothing.
+func TestEvaluateBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under -race")
+	}
+	prog, err := Compile(batchTestPattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []*hardware.Hierarchy{hardware.Origin2000(), hardware.ModernX86()}
+	n := 0
+	for _, h := range hs {
+		n += len(h.Levels)
+	}
+	dst := make([]Misses, 0, n)
+	prog.EvaluateBatch(hs, dst) // warm the pool
+	if allocs := testing.AllocsPerRun(20, func() { prog.EvaluateBatch(hs, dst[:0]) }); allocs != 0 {
+		t.Fatalf("warm EvaluateBatch allocates %.1f times per run, want 0", allocs)
+	}
+}

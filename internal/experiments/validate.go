@@ -16,6 +16,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/pattern"
 	"repro/internal/region"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -81,6 +82,12 @@ type ValidationConfig struct {
 	Workers int
 	// Backend selects the measurement backend (default BackendTrace).
 	Backend Backend
+	// PointLoop opts out of the grid-sweep fast path and re-runs the
+	// original point-at-a-time pipeline (re-validate, re-compile, and
+	// re-analyze every cell from scratch). Results are bit-identical
+	// either way — pinned by TestValidationSweepMatchesPointLoop — so
+	// this exists for the sweep benchmark's baseline and for debugging.
+	PointLoop bool
 }
 
 // MinValidationSize is the smallest accepted relation size: below this
@@ -433,12 +440,71 @@ func relError(meas, pred float64) (rel float64, floored bool) {
 	return math.Abs(pred-meas) / den, floored
 }
 
+// resolveValidationOps maps operator names to their suite entries,
+// preserving the requested order.
+func resolveValidationOps(names []string) ([]validationOp, error) {
+	byName := make(map[string]validationOp)
+	for _, op := range validationOps() {
+		byName[op.name] = op
+	}
+	ops := make([]validationOp, 0, len(names))
+	for _, name := range names {
+		op, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: %w: unknown operator %q (have: %v)", ErrInvalidConfig, name, ValidationOperators())
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// buildValidationPoints lays the operator × size grid out as sweep
+// points: operators outer, ascending sizes inner, keys "operator/bytes".
+func buildValidationPoints(ops []validationOp, cfg Config, sizes []int64) []sweep.Point {
+	pts := make([]sweep.Point, 0, len(ops)*len(sizes))
+	for _, op := range ops {
+		for _, sz := range sizes {
+			pts = append(pts, sweep.Point{
+				Key:     fmt.Sprintf("%s/%d", op.name, sz),
+				Pattern: op.pat(cfg, sz),
+			})
+		}
+	}
+	return pts
+}
+
+// ValidationSweepPoints builds the exact operator × size grid
+// RunValidation evaluates, as sweep points ready for sweep.Prepare
+// (keys "operator/bytes"; operators outer, ascending sizes inner). The
+// grid-sweep benchmark and external harnesses share it so their
+// speedup and allocation contracts measure the production grid.
+func ValidationSweepPoints(vcfg ValidationConfig) ([]sweep.Point, error) {
+	vcfg = vcfg.withDefaults()
+	if err := vcfg.Hier.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w: invalid hierarchy: %v", ErrInvalidConfig, err)
+	}
+	for _, sz := range vcfg.Sizes {
+		if sz < MinValidationSize {
+			return nil, fmt.Errorf("experiments: %w: size %d below minimum %d", ErrInvalidConfig, sz, MinValidationSize)
+		}
+	}
+	ops, err := resolveValidationOps(vcfg.Operators)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{Hier: vcfg.Hier, Seed: vcfg.Seed}.withDefaults()
+	return buildValidationPoints(ops, cfg, vcfg.Sizes), nil
+}
+
 // RunValidation sweeps the configured operator × size grid, comparing
 // the cost model's T_mem prediction against the selected backend's
 // measurement for the same pattern, and aggregates relative errors per
-// operator (floored points excluded). Grid points run concurrently on a
-// bounded worker pool (each point owns a private simulated machine);
-// the context cancels the sweep between points.
+// operator (floored points excluded). The grid runs through the
+// internal/sweep fast path unless PointLoop opts out: predictions (and
+// the analytical backend's measurements) come from one prepared grid
+// evaluation; only the trace backend's engine runs still visit a
+// per-point worker pool (each point owns a private simulated machine).
+// The context cancels the sweep between points.
 func RunValidation(ctx context.Context, vcfg ValidationConfig) (*Validation, error) {
 	start := time.Now()
 	vcfg = vcfg.withDefaults()
@@ -455,17 +521,9 @@ func RunValidation(ctx context.Context, vcfg ValidationConfig) (*Validation, err
 	default:
 		return nil, fmt.Errorf("experiments: %w: unknown backend %q (have: %v)", ErrInvalidConfig, vcfg.Backend, Backends())
 	}
-	byName := make(map[string]validationOp)
-	for _, op := range validationOps() {
-		byName[op.name] = op
-	}
-	var ops []validationOp
-	for _, name := range vcfg.Operators {
-		op, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("experiments: %w: unknown operator %q (have: %v)", ErrInvalidConfig, name, ValidationOperators())
-		}
-		ops = append(ops, op)
+	ops, err := resolveValidationOps(vcfg.Operators)
+	if err != nil {
+		return nil, err
 	}
 
 	model, err := cost.New(vcfg.Hier)
@@ -483,7 +541,8 @@ func RunValidation(ctx context.Context, vcfg ValidationConfig) (*Validation, err
 	cfg := Config{Hier: vcfg.Hier, Seed: vcfg.Seed}.withDefaults()
 
 	type cell struct {
-		point   ValidationPoint
+		meas    float64
+		pred    float64
 		pattern string
 		err     error
 	}
@@ -492,71 +551,107 @@ func RunValidation(ctx context.Context, vcfg ValidationConfig) (*Validation, err
 		grid[i] = make([]cell, len(vcfg.Sizes))
 	}
 
-	type job struct{ op, size int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	workers := vcfg.Workers
-	if total := len(ops) * len(vcfg.Sizes); workers > total {
-		workers = total
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if ctx.Err() != nil {
-					continue // drain remaining jobs without running them
+	// Sweep fast path: compile and flatten every cell's declared pattern
+	// once, then run the whole grid through internal/sweep — predictions
+	// for both backends, and the measured side too when it is analytical.
+	// The trace backend's measured side still needs a real engine run per
+	// point, so only its prediction rides the sweep.
+	if !vcfg.PointLoop {
+		pts := buildValidationPoints(ops, cfg, vcfg.Sizes)
+		sg, err := sweep.Prepare(pts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		sw, err := sg.On(vcfg.Hier)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w: %v", ErrInvalidConfig, err)
+		}
+		swept, err := sw.Run(ctx, sweep.Options{
+			Workers: vcfg.Workers,
+			Predict: true,
+			Price:   vcfg.Backend == BackendAnalytical,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range ops {
+			for j := range vcfg.Sizes {
+				c := &grid[i][j]
+				idx := i*len(vcfg.Sizes) + j
+				c.pred = swept[idx].PredictedNS
+				if vcfg.Backend == BackendAnalytical {
+					c.meas = swept[idx].MeasuredNS
+					c.pattern = patternLabel(pts[idx].Pattern)
 				}
-				c := &grid[j.op][j.size]
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							c.err = fmt.Errorf("experiments: %s at %d bytes: %v",
-								ops[j.op].name, vcfg.Sizes[j.size], r)
-						}
-					}()
-					sz := vcfg.Sizes[j.size]
-					var measNS float64
-					var p pattern.Pattern
-					if vcfg.Backend == BackendAnalytical {
-						p = ops[j.op].pat(cfg, sz)
-						priced, err := ana.Price(p)
-						if err != nil {
-							c.err = err
-							return
-						}
-						measNS = priced.MemoryTimeNS()
-					} else {
-						measNS, p = ops[j.op].run(cfg, sz)
-					}
-					res, err := model.Evaluate(p)
-					if err != nil {
-						c.err = err
-						return
-					}
-					predNS := res.MemoryTimeNS()
-					c.pattern = patternLabel(p)
-					rel, floored := relError(measNS, predNS)
-					c.point = ValidationPoint{
-						Bytes:       sz,
-						MeasuredNS:  measNS,
-						PredictedNS: predNS,
-						RelError:    rel,
-						Floored:     floored,
-					}
-				}()
 			}
-		}()
-	}
-	for i := range ops {
-		for j := range vcfg.Sizes {
-			jobs <- job{i, j}
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+
+	// Per-point worker pool: the trace backend's engine runs (each point
+	// owns a private simulated machine), and the whole grid when the
+	// PointLoop opt-out re-runs the original pipeline.
+	if vcfg.Backend == BackendTrace || vcfg.PointLoop {
+		type job struct{ op, size int }
+		jobs := make(chan job)
+		var wg sync.WaitGroup
+		workers := vcfg.Workers
+		if total := len(ops) * len(vcfg.Sizes); workers > total {
+			workers = total
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					if ctx.Err() != nil {
+						continue // drain remaining jobs without running them
+					}
+					c := &grid[j.op][j.size]
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								c.err = fmt.Errorf("experiments: %s at %d bytes: %v",
+									ops[j.op].name, vcfg.Sizes[j.size], r)
+							}
+						}()
+						sz := vcfg.Sizes[j.size]
+						var measNS float64
+						var p pattern.Pattern
+						if vcfg.Backend == BackendAnalytical {
+							p = ops[j.op].pat(cfg, sz)
+							priced, err := ana.Price(p)
+							if err != nil {
+								c.err = err
+								return
+							}
+							measNS = priced.MemoryTimeNS()
+						} else {
+							measNS, p = ops[j.op].run(cfg, sz)
+						}
+						c.meas = measNS
+						c.pattern = patternLabel(p)
+						if vcfg.PointLoop {
+							res, err := model.Evaluate(p)
+							if err != nil {
+								c.err = err
+								return
+							}
+							c.pred = res.MemoryTimeNS()
+						}
+					}()
+				}
+			}()
+		}
+		for i := range ops {
+			for j := range vcfg.Sizes {
+				jobs <- job{i, j}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	v := &Validation{
@@ -576,16 +671,24 @@ func RunValidation(ctx context.Context, vcfg ValidationConfig) (*Validation, err
 			if c.err != nil {
 				return nil, c.err
 			}
-			ov.Points = append(ov.Points, c.point)
+			rel, floored := relError(c.meas, c.pred)
+			pt := ValidationPoint{
+				Bytes:       vcfg.Sizes[j],
+				MeasuredNS:  c.meas,
+				PredictedNS: c.pred,
+				RelError:    rel,
+				Floored:     floored,
+			}
+			ov.Points = append(ov.Points, pt)
 			ov.Pattern = c.pattern // largest size wins (sizes ascend)
-			if c.point.Floored {
+			if pt.Floored {
 				ov.FlooredPoints++
 				continue
 			}
-			opSum += c.point.RelError
+			opSum += pt.RelError
 			opCount++
-			if c.point.RelError > ov.MaxRelError {
-				ov.MaxRelError = c.point.RelError
+			if pt.RelError > ov.MaxRelError {
+				ov.MaxRelError = pt.RelError
 			}
 		}
 		if opCount > 0 {

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestValidationSweepMatchesPointLoop pins the grid-sweep fast path to
+// the original point-at-a-time pipeline, bit for bit, on both
+// measurement backends: every per-point measurement and prediction must
+// carry the identical float64.
+func TestValidationSweepMatchesPointLoop(t *testing.T) {
+	for _, backend := range Backends() {
+		t.Run(string(backend), func(t *testing.T) {
+			cfg := smallValidationConfig()
+			cfg.Backend = backend
+			swept, err := RunValidation(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("sweep path: %v", err)
+			}
+			cfg.PointLoop = true
+			looped, err := RunValidation(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("point loop: %v", err)
+			}
+			if len(swept.Operators) != len(looped.Operators) {
+				t.Fatalf("sweep %d operators != loop %d", len(swept.Operators), len(looped.Operators))
+			}
+			for i, so := range swept.Operators {
+				lo := looped.Operators[i]
+				if so.Operator != lo.Operator {
+					t.Fatalf("operator[%d] %q != %q", i, so.Operator, lo.Operator)
+				}
+				if so.Pattern != lo.Pattern {
+					t.Errorf("%s: pattern label %q != loop %q", so.Operator, so.Pattern, lo.Pattern)
+				}
+				for j, sp := range so.Points {
+					lp := lo.Points[j]
+					if math.Float64bits(sp.MeasuredNS) != math.Float64bits(lp.MeasuredNS) {
+						t.Errorf("%s at %d bytes: sweep measured %v != loop %v",
+							so.Operator, sp.Bytes, sp.MeasuredNS, lp.MeasuredNS)
+					}
+					if math.Float64bits(sp.PredictedNS) != math.Float64bits(lp.PredictedNS) {
+						t.Errorf("%s at %d bytes: sweep predicted %v != loop %v",
+							so.Operator, sp.Bytes, sp.PredictedNS, lp.PredictedNS)
+					}
+					if math.Float64bits(sp.RelError) != math.Float64bits(lp.RelError) {
+						t.Errorf("%s at %d bytes: sweep rel error %v != loop %v",
+							so.Operator, sp.Bytes, sp.RelError, lp.RelError)
+					}
+				}
+			}
+			if err := swept.SameNumbers(looped); err != nil {
+				t.Errorf("SameNumbers: %v", err)
+			}
+		})
+	}
+}
+
+// TestValidationSweepParallelismInvariant pins the sweep path's results
+// across worker counts.
+func TestValidationSweepParallelismInvariant(t *testing.T) {
+	base := smallValidationConfig()
+	base.Backend = BackendAnalytical
+	base.Workers = 1
+	want, err := RunValidation(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := RunValidation(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.SameNumbers(want); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestValidationSweepPoints pins the exported grid builder's shape to
+// the grid RunValidation evaluates.
+func TestValidationSweepPoints(t *testing.T) {
+	cfg := smallValidationConfig()
+	pts, err := ValidationSweepPoints(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := ValidationOperators()
+	if want := len(ops) * len(cfg.Sizes); len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	for i, op := range ops {
+		for j, sz := range cfg.Sizes {
+			pt := pts[i*len(cfg.Sizes)+j]
+			if want := fmt.Sprintf("%s/%d", op, sz); pt.Key != want {
+				t.Errorf("point %d keyed %q, want %q", i*len(cfg.Sizes)+j, pt.Key, want)
+			}
+			if pt.Pattern == nil {
+				t.Errorf("point %q has nil pattern", pt.Key)
+			}
+		}
+	}
+	if _, err := ValidationSweepPoints(ValidationConfig{Sizes: []int64{64}}); err == nil {
+		t.Error("undersized grid accepted")
+	}
+	if _, err := ValidationSweepPoints(ValidationConfig{Operators: []string{"nope"}}); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}

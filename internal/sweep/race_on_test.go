@@ -1,0 +1,8 @@
+//go:build race
+
+package sweep
+
+// raceEnabled reports that the race detector is active: the cost-IR
+// evaluator's sync.Pool deliberately drops entries under -race, so
+// zero-allocation assertions cannot hold there.
+const raceEnabled = true

@@ -25,6 +25,7 @@ import (
 	"repro/internal/calibrate"
 	"repro/internal/hardware"
 	"repro/pkg/costmodel"
+	"repro/pkg/costmodel/validate"
 )
 
 // Options configures a calibration run.
@@ -49,6 +50,15 @@ type Options struct {
 	// Registry receives the profile; nil means the package default
 	// registry.
 	Registry *costmodel.Registry
+	// Validate, when set, runs the analytical validation grid against
+	// the freshly registered hierarchy (the batched sweep path of
+	// package repro/pkg/costmodel/validate) and attaches the report —
+	// answering "is the discovered profile trustworthy?" in the same
+	// run instead of requiring a second command.
+	Validate bool
+	// ValidateQuick shrinks the post-discovery validation grid to the
+	// smoke sizes. Only meaningful with Validate.
+	ValidateQuick bool
 }
 
 // Level is one discovered cache or TLB level, as registered.
@@ -72,6 +82,10 @@ type Report struct {
 	// Hierarchy is the registered hierarchy (a fresh copy; mutating it
 	// does not affect the registry).
 	Hierarchy *costmodel.Hierarchy `json:"-"`
+	// Validation is the post-discovery validation sweep, present when
+	// Options.Validate was set: the model's mean relative error per
+	// operator on the discovered hierarchy.
+	Validation *validate.Report `json:"validation,omitempty"`
 }
 
 // String renders the report in the shape of the paper's Table 3.
@@ -131,6 +145,17 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			RndMissLatencyNS: l.RndMissLatency,
 			TLB:              l.TLB,
 		})
+	}
+	if opts.Validate {
+		vrep, err := validate.Run(ctx, validate.Options{
+			Hierarchy: h,
+			Quick:     opts.ValidateQuick,
+			Backend:   validate.BackendAnalytical,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: post-discovery validation: %w", err)
+		}
+		rep.Validation = vrep
 	}
 	return rep, nil
 }

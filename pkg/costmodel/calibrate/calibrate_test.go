@@ -52,6 +52,42 @@ func TestRunSimulatedRegistersUsableProfile(t *testing.T) {
 	}
 }
 
+func TestRunValidateAttachesSweepReport(t *testing.T) {
+	reg := costmodel.NewRegistry()
+	rep, err := Run(context.Background(), Options{
+		Name:          "checked",
+		SimProfile:    "small-test",
+		MaxFootprint:  64 << 10,
+		Registry:      reg,
+		Validate:      true,
+		ValidateQuick: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	v := rep.Validation
+	if v == nil {
+		t.Fatal("Validate set but no validation report attached")
+	}
+	if len(v.Operators) == 0 {
+		t.Fatal("validation report has no operators")
+	}
+	if v.MeanRelError < 0 || v.MeanRelError > 10 {
+		t.Errorf("implausible mean relative error %g on the discovered profile", v.MeanRelError)
+	}
+
+	// Without Validate the report stays lean.
+	rep2, err := Run(context.Background(), Options{
+		Name: "unchecked", SimProfile: "small-test", MaxFootprint: 64 << 10, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Validation != nil {
+		t.Error("validation report attached without Validate")
+	}
+}
+
 func TestRunDefaultsNameAndRegistry(t *testing.T) {
 	rep, err := Run(context.Background(), Options{
 		SimProfile:   "small-test",

@@ -93,6 +93,12 @@ type Server struct {
 	compileMisses atomic.Uint64
 	resultHits    atomic.Uint64
 	resultMisses  atomic.Uint64
+	// batchDedupHits counts batch requests answered by another request
+	// of the same batch (same canonical program, profile, and explain
+	// spelling); batchDedupMisses counts the batch leaders that were
+	// actually evaluated.
+	batchDedupHits   atomic.Uint64
+	batchDedupMisses atomic.Uint64
 	// planCache memoizes /v1/plan search results by query shape
 	// fingerprint (plan.go); revalidations count cached entries served
 	// after a cheap parameter-drift re-score, revalMisses count drifts
@@ -278,15 +284,49 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 }
 
 // EvaluateBatch evaluates the requests concurrently, returning results
-// in request order. It spawns at most worker-pool-many goroutines (not
-// one per request — a maximal batch would otherwise allocate hundreds
-// of thousands of stacks); the semaphore inside Evaluate keeps the
-// bound global across concurrent batches.
+// in request order. Requests whose canonical programs coincide — same
+// canonical pattern, profile, and explain spelling — collapse onto one
+// evaluation: the first occurrence (the leader) is evaluated, the rest
+// clone its result (re-echoing their own pattern spelling and adding
+// their own CPU estimate), so an optimizer batch re-costing one plan
+// shape under many CPU estimates pays for a single grid point. The
+// pool spawns at most worker-pool-many goroutines (not one per request
+// — a maximal batch would otherwise allocate hundreds of thousands of
+// stacks); the semaphore inside Evaluate keeps the bound global across
+// concurrent batches.
 func (s *Server) EvaluateBatch(reqs []EvalRequest) []*EvalResult {
 	results := make([]*EvalResult, len(reqs))
+
+	// Dedup prepass: parse and canonicalize each request, electing the
+	// first request of every distinct result key as its leader.
+	// Requests that fail to parse resolve here (their error result is
+	// exactly what Evaluate would return) and never reach the pool.
+	leader := make(map[string]int, len(reqs))
+	followOf := make([]int, len(reqs))
+	spelling := make([]string, len(reqs))
+	var leaders []int
+	for i := range reqs {
+		followOf[i] = -1
+		p, canon, errRes := s.parseRequest(reqs[i])
+		if errRes != nil {
+			results[i] = errRes
+			continue
+		}
+		key := s.resultKey(reqs[i], p, canon)
+		spelling[i] = p.String()
+		if li, ok := leader[key]; ok {
+			followOf[i] = li
+			s.batchDedupHits.Add(1)
+		} else {
+			leader[key] = i
+			leaders = append(leaders, i)
+			s.batchDedupMisses.Add(1)
+		}
+	}
+
 	workers := cap(s.sem)
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if workers > len(leaders) {
+		workers = len(leaders)
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -299,61 +339,93 @@ func (s *Server) EvaluateBatch(reqs []EvalRequest) []*EvalResult {
 			}
 		}()
 	}
-	for i := range reqs {
+	for _, i := range leaders {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+
+	// Followers share their leader's evaluation. Each gets a private
+	// copy carrying its own spelling and CPU estimate; Cached marks the
+	// result as served without a fresh evaluation.
+	for i, li := range followOf {
+		if li < 0 {
+			continue
+		}
+		res := results[li].clone()
+		res.Pattern = spelling[i]
+		res.TotalNS = res.MemoryNS + reqs[i].CPUNS
+		if res.Error == "" {
+			res.Cached = true
+		}
+		results[i] = res
+	}
 	return results
 }
 
-// Evaluate evaluates one request, consulting the result cache first.
-// Cache misses run on the server's bounded worker pool, so Workers
-// bounds concurrency for single requests and batches alike.
-func (s *Server) Evaluate(req EvalRequest) *EvalResult {
+// parseRequest validates and parses one request's regions and pattern
+// text and canonicalizes the pattern. A non-nil errRes is the exact
+// error result Evaluate returns for the malformed request.
+func (s *Server) parseRequest(req EvalRequest) (p costmodel.Pattern, canon string, errRes *EvalResult) {
 	if req.Profile == "" {
-		return &EvalResult{Error: "missing profile"}
+		return nil, "", &EvalResult{Error: "missing profile"}
 	}
 	if req.Pattern == "" {
-		return &EvalResult{Profile: req.Profile, Error: "missing pattern"}
+		return nil, "", &EvalResult{Profile: req.Profile, Error: "missing pattern"}
 	}
 	regions := make(map[string]*costmodel.Region, len(req.Regions))
 	for _, d := range req.Regions {
 		if d.Name == "" || d.Items < 0 || d.Width <= 0 {
-			return &EvalResult{Profile: req.Profile,
+			return nil, "", &EvalResult{Profile: req.Profile,
 				Error: fmt.Sprintf("invalid region %q (items=%d, width=%d)", d.Name, d.Items, d.Width)}
 		}
 		if _, dup := regions[d.Name]; dup {
-			return &EvalResult{Profile: req.Profile,
+			return nil, "", &EvalResult{Profile: req.Profile,
 				Error: fmt.Sprintf("region %q declared twice", d.Name)}
 		}
 		regions[d.Name] = costmodel.NewRegion(d.Name, d.Items, d.Width)
 	}
 	p, err := costmodel.ParsePattern(req.Pattern, regions)
 	if err != nil {
-		return &EvalResult{Profile: req.Profile, Error: err.Error()}
+		return nil, "", &EvalResult{Profile: req.Profile, Error: err.Error()}
 	}
-	canon, err := costmodel.CanonicalPattern(p)
+	canon, err = costmodel.CanonicalPattern(p)
 	if err != nil {
-		return &EvalResult{Profile: req.Profile, Pattern: p.String(), Error: err.Error()}
+		return nil, "", &EvalResult{Profile: req.Profile, Pattern: p.String(), Error: err.Error()}
 	}
+	return p, canon, nil
+}
 
-	// The result-cache key is the pattern's *canonical* form — region
-	// geometries embedded, ⊕ flattened, ⊙ operands sorted — so any two
-	// spellings of the same access behaviour share an entry. Two
-	// exclusions keep the entry request-agnostic: CPUNS, because T_cpu
-	// is pure addition on top of the memory-side result (Eq. 6.1), so
-	// re-costing one pattern under varying CPU estimates — the
-	// optimizer's common case — stays a cache hit (it is applied below,
-	// after the cache); and the pattern echo, which is rewritten to
-	// *this* request's spelling on every hit. Explained results are the
-	// exception: the per-node breakdown follows the spelling's tree
-	// shape, so the key also carries the parsed rendering. The registry
-	// version invalidates entries when a profile name is re-registered.
+// resultKey is the result-cache (and in-batch dedup) key: the
+// pattern's *canonical* form — region geometries embedded, ⊕
+// flattened, ⊙ operands sorted — so any two spellings of the same
+// access behaviour share an entry. Two exclusions keep the entry
+// request-agnostic: CPUNS, because T_cpu is pure addition on top of
+// the memory-side result (Eq. 6.1), so re-costing one pattern under
+// varying CPU estimates — the optimizer's common case — stays a cache
+// hit (it is applied after the cache); and the pattern echo, which is
+// rewritten to each request's spelling on every hit. Explained results
+// are the exception: the per-node breakdown follows the spelling's
+// tree shape, so the key also carries the parsed rendering. The
+// registry version invalidates entries when a profile name is
+// re-registered.
+func (s *Server) resultKey(req EvalRequest, p costmodel.Pattern, canon string) string {
 	key := fmt.Sprintf("v%d|%q|%s|%t", s.reg.Version(), req.Profile, canon, req.Explain)
 	if req.Explain {
 		key += "|" + p.String()
 	}
+	return key
+}
+
+// Evaluate evaluates one request, consulting the result cache first.
+// Cache misses run on the server's bounded worker pool, so Workers
+// bounds concurrency for single requests and batches alike.
+func (s *Server) Evaluate(req EvalRequest) *EvalResult {
+	p, canon, errRes := s.parseRequest(req)
+	if errRes != nil {
+		return errRes
+	}
+	key := s.resultKey(req, p, canon)
 	res, cached := (*EvalResult)(nil), false
 	if s.cache != nil {
 		if hit, ok := s.cache.get(key); ok {
@@ -502,6 +574,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	cc := s.CompileCacheStats()
 	rc := s.ResultCacheStats()
 	pc := s.PlanCacheStats()
+	bd := s.BatchDedupStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"profiles": len(s.reg.Names()),
@@ -517,6 +590,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"misses":    rc.Misses,
 			"entries":   rc.Entries,
 			"evictions": rc.Evictions,
+		},
+		"batch_dedup": map[string]any{
+			"hits":   bd.Hits,
+			"misses": bd.Misses,
 		},
 		"plan_cache": map[string]any{
 			"hits":                pc.Hits,
@@ -582,6 +659,25 @@ func (s *Server) ResultCacheStats() ResultCacheStats {
 		st.Evictions = s.cache.evicted()
 	}
 	return st
+}
+
+// BatchDedupStats reports the in-batch dedup counters (also exposed on
+// /healthz): Hits count batch requests that collapsed onto another
+// request of the same batch — same canonical program, profile, and
+// explain spelling — and were served by cloning its result; Misses
+// count the batch leaders that were evaluated (or served from the
+// result cache) on the pool.
+type BatchDedupStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// BatchDedupStats returns the in-batch dedup counters.
+func (s *Server) BatchDedupStats() BatchDedupStats {
+	return BatchDedupStats{
+		Hits:   s.batchDedupHits.Load(),
+		Misses: s.batchDedupMisses.Load(),
+	}
 }
 
 // PlanCacheStats reports the shape-keyed plan cache's cumulative
